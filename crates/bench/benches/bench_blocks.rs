@@ -1,0 +1,50 @@
+//! Criterion bench: block generation, Buffalo fast path vs Betty-style
+//! checked path (the microbenchmark behind Figure 12).
+
+use buffalo_blocks::{generate_blocks_checked, generate_blocks_fast, GenerateOptions};
+use buffalo_graph::{generators, NodeId};
+use buffalo_sampling::BatchSampler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_blocks(c: &mut Criterion) {
+    let g = generators::barabasi_albert(30_000, 8, 0.5, 7).unwrap();
+    let mut group = c.benchmark_group("block_generation");
+    group.sample_size(10);
+    for &num_seeds in &[1_000usize, 4_000] {
+        let seeds: Vec<NodeId> = (0..num_seeds as NodeId).collect();
+        let batch = BatchSampler::new(vec![10, 25]).sample(&g, &seeds, 3);
+        group.bench_with_input(
+            BenchmarkId::new("buffalo_fast", num_seeds),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    generate_blocks_fast(
+                        &batch.graph,
+                        batch.num_seeds,
+                        2,
+                        GenerateOptions::default(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("betty_checked", num_seeds),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    generate_blocks_checked(
+                        &batch.graph,
+                        &batch.global_ids,
+                        &g,
+                        batch.num_seeds,
+                        2,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocks);
+criterion_main!(benches);

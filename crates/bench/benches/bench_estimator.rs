@@ -1,0 +1,50 @@
+//! Criterion bench: memory-estimation primitives — closure counting and
+//! the redundancy-aware group estimator (must stay negligible next to
+//! partitioning, or the scheduler loses its reason to exist).
+
+use buffalo_bucketing::{closure_counts, degree_bucketing, ClosureScratch};
+use buffalo_graph::{generators, NodeId};
+use buffalo_memsim::estimate::{group_mem_estimate, mem_from_counts, BucketStats};
+use buffalo_memsim::{AggregatorKind, GnnShape};
+use buffalo_sampling::BatchSampler;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_estimation(c: &mut Criterion) {
+    let g = generators::barabasi_albert(30_000, 8, 0.5, 17).unwrap();
+    let seeds: Vec<NodeId> = (0..2_000).collect();
+    let batch = BatchSampler::new(vec![10, 25]).sample(&g, &seeds, 1);
+    let shape = GnnShape::new(128, 256, 2, 16, AggregatorKind::Lstm);
+    let buckets = degree_bucketing(&batch.graph, batch.num_seeds, 10);
+    let mut group = c.benchmark_group("estimation");
+    group.sample_size(20);
+    group.bench_function("closure_counts_all_buckets", |b| {
+        let mut scratch = ClosureScratch::default();
+        b.iter(|| {
+            buckets
+                .iter()
+                .map(|bk| closure_counts(&batch.graph, &bk.nodes, 2, &mut scratch))
+                .count()
+        })
+    });
+    // Precompute entries for the pure-arithmetic estimator bench.
+    let mut scratch = ClosureScratch::default();
+    let entries: Vec<(BucketStats, u64)> = buckets
+        .iter()
+        .map(|bk| {
+            let counts = closure_counts(&batch.graph, &bk.nodes, 2, &mut scratch);
+            let stats = BucketStats {
+                degree: bk.degree,
+                num_output: bk.volume(),
+                num_input: counts.output_layer_inputs(),
+            };
+            (stats, mem_from_counts(&counts, &shape))
+        })
+        .collect();
+    group.bench_function("group_mem_estimate", |b| {
+        b.iter(|| group_mem_estimate(&entries, 0.3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

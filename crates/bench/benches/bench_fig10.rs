@@ -1,0 +1,47 @@
+//! Criterion bench: one full simulated iteration per strategy — the
+//! end-to-end comparison behind Figure 10.
+
+use buffalo_core::sim::{simulate_iteration, SimContext, Strategy};
+use buffalo_graph::{generators, NodeId};
+use buffalo_memsim::{AggregatorKind, CostModel, DeviceMemory, GnnShape};
+use buffalo_sampling::BatchSampler;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_iteration(c: &mut Criterion) {
+    let g = generators::barabasi_albert(30_000, 8, 0.5, 13).unwrap();
+    let seeds: Vec<NodeId> = (0..2_000).collect();
+    let batch = BatchSampler::new(vec![10, 25]).sample(&g, &seeds, 9);
+    let shape = GnnShape::new(128, 256, 2, 16, AggregatorKind::Lstm);
+    let ctx = SimContext {
+        shape: &shape,
+        fanouts: &[10, 25],
+        clustering: 0.3,
+        original: &g,
+    };
+    let cost = CostModel::rtx6000();
+    let unlimited = DeviceMemory::new(u64::MAX);
+    let whole = simulate_iteration(&batch, ctx, Strategy::Full, &unlimited, &cost).unwrap();
+    let budget = DeviceMemory::new(whole.peak_mem_bytes / 4 * 11 / 10);
+    let mut group = c.benchmark_group("iteration");
+    group.sample_size(10);
+    group.bench_function("full", |b| {
+        b.iter(|| simulate_iteration(&batch, ctx, Strategy::Full, &unlimited, &cost).unwrap())
+    });
+    group.bench_function("buffalo_k4ish", |b| {
+        b.iter(|| simulate_iteration(&batch, ctx, Strategy::Buffalo, &budget, &cost).unwrap())
+    });
+    group.bench_function("betty_k4", |b| {
+        b.iter(|| {
+            simulate_iteration(&batch, ctx, Strategy::Betty { k: 4 }, &unlimited, &cost).unwrap()
+        })
+    });
+    group.bench_function("range_k4", |b| {
+        b.iter(|| {
+            simulate_iteration(&batch, ctx, Strategy::Range { k: 4 }, &unlimited, &cost).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration);
+criterion_main!(benches);

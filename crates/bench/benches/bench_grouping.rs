@@ -1,0 +1,42 @@
+//! Criterion bench: the Buffalo scheduler (degree bucketing + splitting +
+//! memory-balanced grouping) — the cost that replaces METIS.
+
+use buffalo_bucketing::BuffaloScheduler;
+use buffalo_graph::{generators, NodeId};
+use buffalo_memsim::{AggregatorKind, GnnShape};
+use buffalo_sampling::BatchSampler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let g = generators::barabasi_albert(30_000, 8, 0.5, 9).unwrap();
+    let shape = GnnShape::new(128, 256, 2, 16, AggregatorKind::Lstm);
+    let mut group = c.benchmark_group("buffalo_scheduler");
+    group.sample_size(10);
+    for &num_seeds in &[1_000usize, 4_000] {
+        let seeds: Vec<NodeId> = (0..num_seeds as NodeId).collect();
+        let batch = BatchSampler::new(vec![10, 25]).sample(&g, &seeds, 5);
+        let scheduler = BuffaloScheduler::new(shape.clone(), vec![10, 25], 0.3);
+        // A budget that forces several groups, exercising the K loop.
+        let single = scheduler
+            .schedule(&batch.graph, batch.num_seeds, u64::MAX)
+            .unwrap()
+            .group_estimates[0];
+        for &div in &[1u64, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("seeds{num_seeds}"), format!("k~{div}")),
+                &div,
+                |b, &div| {
+                    b.iter(|| {
+                        scheduler
+                            .schedule(&batch.graph, batch.num_seeds, single / div * 11 / 10)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: baseline partitioners (METIS multilevel, Betty
+//! REG+METIS) vs Buffalo scheduling — the comparison behind Figures 5
+//! and 11.
+
+use buffalo_bucketing::BuffaloScheduler;
+use buffalo_graph::{generators, NodeId};
+use buffalo_memsim::{AggregatorKind, GnnShape};
+use buffalo_partition::{metis_kway, BettyPartitioner, MetisOptions};
+use buffalo_sampling::BatchSampler;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = generators::barabasi_albert(30_000, 8, 0.5, 11).unwrap();
+    let seeds: Vec<NodeId> = (0..2_000).collect();
+    let batch = BatchSampler::new(vec![10, 25]).sample(&g, &seeds, 7);
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(10);
+    group.bench_function("metis_whole_subgraph_k8", |b| {
+        b.iter(|| metis_kway(&batch.graph, 8, MetisOptions::default()))
+    });
+    group.bench_function("betty_reg_plus_metis_k8", |b| {
+        let p = BettyPartitioner::default();
+        b.iter(|| p.partition(&batch.graph, batch.num_seeds, 8).unwrap())
+    });
+    group.bench_function("buffalo_scheduler_k8ish", |b| {
+        let shape = GnnShape::new(128, 256, 2, 16, AggregatorKind::Lstm);
+        let scheduler = BuffaloScheduler::new(shape, vec![10, 25], 0.3);
+        let single = scheduler
+            .schedule(&batch.graph, batch.num_seeds, u64::MAX)
+            .unwrap()
+            .group_estimates[0];
+        b.iter(|| {
+            scheduler
+                .schedule(&batch.graph, batch.num_seeds, single / 8 * 11 / 10)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates every table and figure of the Buffalo paper.
+//!
+//! ```text
+//! figures <id>...        run specific experiments (e.g. `figures fig10 tab3`)
+//! figures all            run everything
+//! figures --quick <id>   quarter-size batches, fewer sweep points
+//! figures --list         list experiment ids
+//! ```
+
+use buffalo_bench::experiments;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--list" | "-l" => {
+                for id in experiments::ALL_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(experiments::ALL_IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: figures [--quick] <id>... | all | --list");
+        eprintln!("ids: {}", experiments::ALL_IDS.join(", "));
+        return ExitCode::FAILURE;
+    }
+    for id in &ids {
+        if let Err(e) = experiments::run(id, quick) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,177 @@
+//! The block data structure.
+
+use buffalo_graph::NodeId;
+
+/// Connectivity for one GNN layer: a bipartite message-flow graph from
+/// source nodes to destination nodes.
+///
+/// Ids in `dst_nodes` and `src_nodes` are *batch-local* node ids. Following
+/// the usual MFG convention, the first `dst_nodes.len()` entries of
+/// `src_nodes` are the destinations themselves (a destination always needs
+/// its own previous-layer embedding), followed by pure sources.
+///
+/// Edges are stored CSR-style per destination; the values in
+/// [`src_positions`](Self::src_positions) index into `src_nodes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    dst_nodes: Vec<NodeId>,
+    src_nodes: Vec<NodeId>,
+    offsets: Vec<usize>,
+    indices: Vec<u32>,
+}
+
+impl Block {
+    /// Assembles a block from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CSR shape is inconsistent, if `src_nodes` does not
+    /// start with `dst_nodes`, or if any index is out of range of
+    /// `src_nodes`.
+    pub fn from_parts(
+        dst_nodes: Vec<NodeId>,
+        src_nodes: Vec<NodeId>,
+        offsets: Vec<usize>,
+        indices: Vec<u32>,
+    ) -> Self {
+        assert_eq!(offsets.len(), dst_nodes.len() + 1, "offsets length");
+        assert_eq!(*offsets.last().unwrap_or(&0), indices.len(), "last offset");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        assert!(
+            src_nodes.len() >= dst_nodes.len()
+                && src_nodes[..dst_nodes.len()] == dst_nodes[..],
+            "src_nodes must begin with dst_nodes"
+        );
+        assert!(
+            indices.iter().all(|&i| (i as usize) < src_nodes.len()),
+            "edge index out of range"
+        );
+        Block {
+            dst_nodes,
+            src_nodes,
+            offsets,
+            indices,
+        }
+    }
+
+    /// Destination (output) nodes of this layer, batch-local ids.
+    pub fn dst_nodes(&self) -> &[NodeId] {
+        &self.dst_nodes
+    }
+
+    /// Source (input) nodes of this layer, batch-local ids; begins with the
+    /// destination nodes.
+    pub fn src_nodes(&self) -> &[NodeId] {
+        &self.src_nodes
+    }
+
+    /// Number of destinations.
+    pub fn num_dst(&self) -> usize {
+        self.dst_nodes.len()
+    }
+
+    /// Number of sources (including the embedded destinations).
+    pub fn num_src(&self) -> usize {
+        self.src_nodes.len()
+    }
+
+    /// Total number of message edges.
+    pub fn num_edges(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// In-degree of the `i`-th destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_dst()`.
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Positions (into [`src_nodes`](Self::src_nodes)) of the sources
+    /// feeding the `i`-th destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_dst()`.
+    pub fn src_positions(&self, i: usize) -> &[u32] {
+        &self.indices[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Batch-local ids of the sources feeding the `i`-th destination.
+    pub fn srcs_of(&self, i: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.src_positions(i)
+            .iter()
+            .map(move |&p| self.src_nodes[p as usize])
+    }
+
+    /// Maximum in-degree over all destinations (0 if there are none).
+    pub fn max_in_degree(&self) -> usize {
+        (0..self.num_dst()).map(|i| self.in_degree(i)).max().unwrap_or(0)
+    }
+
+    /// Approximate in-memory footprint of the block structure in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.dst_nodes.len() * std::mem::size_of::<NodeId>()
+            + self.src_nodes.len() * std::mem::size_of::<NodeId>()
+            + self.offsets.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> Block {
+        // dst = [5, 9]; srcs = [5, 9, 2, 3]; 5 <- {9, 2}; 9 <- {2, 3, 5}
+        Block::from_parts(
+            vec![5, 9],
+            vec![5, 9, 2, 3],
+            vec![0, 2, 5],
+            vec![1, 2, 2, 3, 0],
+        )
+    }
+
+    #[test]
+    fn accessors_agree_with_parts() {
+        let b = sample_block();
+        assert_eq!(b.num_dst(), 2);
+        assert_eq!(b.num_src(), 4);
+        assert_eq!(b.num_edges(), 5);
+        assert_eq!(b.in_degree(0), 2);
+        assert_eq!(b.in_degree(1), 3);
+        assert_eq!(b.max_in_degree(), 3);
+        assert_eq!(b.srcs_of(0).collect::<Vec<_>>(), vec![9, 2]);
+        assert_eq!(b.srcs_of(1).collect::<Vec<_>>(), vec![2, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin with dst_nodes")]
+    fn rejects_src_not_prefixed_by_dst() {
+        let _ = Block::from_parts(vec![1], vec![2, 1], vec![0, 1], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge index out of range")]
+    fn rejects_out_of_range_index() {
+        let _ = Block::from_parts(vec![1], vec![1], vec![0, 1], vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets length")]
+    fn rejects_bad_offsets_len() {
+        let _ = Block::from_parts(vec![1], vec![1], vec![0], vec![]);
+    }
+
+    #[test]
+    fn empty_block_is_valid() {
+        let b = Block::from_parts(vec![], vec![], vec![0], vec![]);
+        assert_eq!(b.num_dst(), 0);
+        assert_eq!(b.max_in_degree(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Lightweight dependency-closure counting.
+//!
+//! The scheduler needs, for every bucket, the per-layer node/edge counts
+//! of the micro-batch that bucket would generate. Counting is a BFS over
+//! the sampled batch graph that touches each closure edge once — no
+//! subgraph is materialized, which is why the paper can claim the inputs
+//! of its estimator "do not bring any computation overhead" (§IV-D): the
+//! same traversal happens during micro-batch generation anyway.
+
+use buffalo_graph::{CsrGraph, NodeId};
+use buffalo_memsim::estimate::{ClosureCounts, LayerCount};
+
+/// Reusable versioned visit-marking scratch, avoiding an `O(n)` clear per
+/// bucket.
+#[derive(Debug, Default, Clone)]
+pub struct ClosureScratch {
+    version: u32,
+    mark: Vec<u32>,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
+/// Computes per-layer closure counts for a micro-batch seeded at `seeds`
+/// with aggregation depth `depth`, against the sampled `batch` graph.
+///
+/// Returned layers are ordered input layer first, matching
+/// `buffalo_blocks::generate_blocks_fast` output and
+/// [`buffalo_memsim::measure::training_memory`] expectations.
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+pub fn closure_counts(
+    batch: &CsrGraph,
+    seeds: &[NodeId],
+    depth: usize,
+    scratch: &mut ClosureScratch,
+) -> ClosureCounts {
+    assert!(depth > 0, "depth must be at least 1");
+    scratch.mark.resize(batch.num_nodes(), 0);
+    scratch.version = scratch.version.wrapping_add(1);
+    if scratch.version == 0 {
+        // Wrapped: clear and restart versioning.
+        scratch.mark.iter_mut().for_each(|m| *m = 0);
+        scratch.version = 1;
+    }
+    let v = scratch.version;
+    scratch.frontier.clear();
+    scratch.frontier.extend_from_slice(seeds);
+    for &s in seeds {
+        scratch.mark[s as usize] = v;
+    }
+    let mut num_nodes = seeds.len();
+    let mut layers_rev: Vec<LayerCount> = Vec::with_capacity(depth);
+    let mut dst_count = seeds.len();
+    // The destination set of layer `L - h` is the whole closure reached
+    // within `h` hops (blocks chain src -> dst), so track cumulative
+    // counts while expanding one hop at a time.
+    for _ in 0..depth {
+        let mut edges = 0usize;
+        scratch.next.clear();
+        // Edges of this layer: all in-edges of every current destination.
+        // The frontier vector holds the ENTIRE current destination set in
+        // discovery order (seeds first), matching block dst ordering.
+        for idx in 0..dst_count {
+            let node = scratch.frontier[idx];
+            edges += batch.degree(node);
+            for &u in batch.neighbors(node) {
+                if scratch.mark[u as usize] != v {
+                    scratch.mark[u as usize] = v;
+                    scratch.next.push(u);
+                }
+            }
+        }
+        let new_nodes = scratch.next.len();
+        scratch.frontier.extend_from_slice(&scratch.next);
+        num_nodes += new_nodes;
+        layers_rev.push(LayerCount {
+            num_dst: dst_count,
+            num_src: num_nodes,
+            num_edges: edges,
+        });
+        dst_count = num_nodes;
+    }
+    layers_rev.reverse();
+    ClosureCounts { layers: layers_rev }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffalo_blocks::{generate_blocks_fast, GenerateOptions};
+    use buffalo_graph::generators;
+    use buffalo_memsim::estimate::mem_from_counts;
+    use buffalo_memsim::{measure, AggregatorKind, GnnShape};
+    use buffalo_sampling::BatchSampler;
+
+    #[test]
+    fn counts_match_generated_blocks() {
+        let g = generators::barabasi_albert(1_500, 6, 0.4, 3).unwrap();
+        let seeds: Vec<NodeId> = (0..200).collect();
+        let batch = BatchSampler::new(vec![8, 12]).sample(&g, &seeds, 9);
+        let blocks = generate_blocks_fast(&batch.graph, 200, 2, GenerateOptions::default());
+        let mut scratch = ClosureScratch::default();
+        let counts = closure_counts(&batch.graph, &(0..200).collect::<Vec<_>>(), 2, &mut scratch);
+        assert_eq!(counts.layers.len(), blocks.len());
+        for (c, b) in counts.layers.iter().zip(&blocks) {
+            assert_eq!(c.num_dst, b.num_dst(), "dst mismatch");
+            assert_eq!(c.num_src, b.num_src(), "src mismatch");
+            assert_eq!(c.num_edges, b.num_edges(), "edge mismatch");
+        }
+        // And therefore the count-based memory estimate is exact.
+        let shape = GnnShape::new(64, 32, 2, 8, AggregatorKind::Lstm);
+        assert_eq!(
+            mem_from_counts(&counts, &shape),
+            measure::training_memory(&blocks, &shape).total()
+        );
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_calls() {
+        let g = generators::barabasi_albert(500, 4, 0.2, 1).unwrap();
+        let batch = BatchSampler::new(vec![5]).sample(&g, &[0, 1, 2, 3], 2);
+        let mut scratch = ClosureScratch::default();
+        let a = closure_counts(&batch.graph, &[0, 1], 1, &mut scratch);
+        let b = closure_counts(&batch.graph, &[2], 1, &mut scratch);
+        let a2 = closure_counts(&batch.graph, &[0, 1], 1, &mut scratch);
+        assert_eq!(a, a2, "scratch reuse must not change results");
+        assert_eq!(b.layers[0].num_dst, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn subset_closure_is_smaller() {
+        let g = generators::barabasi_albert(2_000, 5, 0.3, 7).unwrap();
+        let seeds: Vec<NodeId> = (0..100).collect();
+        let batch = BatchSampler::new(vec![6, 6]).sample(&g, &seeds, 5);
+        let mut scratch = ClosureScratch::default();
+        let all = closure_counts(&batch.graph, &seeds.iter().map(|&s| s).collect::<Vec<_>>(), 2, &mut scratch);
+        let half = closure_counts(&batch.graph, &(0..50).collect::<Vec<_>>(), 2, &mut scratch);
+        assert!(half.layers[0].num_src <= all.layers[0].num_src);
+        assert!(half.layers[1].num_edges <= all.layers[1].num_edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn rejects_zero_depth() {
+        let g = buffalo_graph::CsrGraph::empty(3);
+        let mut scratch = ClosureScratch::default();
+        let _ = closure_counts(&g, &[0], 0, &mut scratch);
+    }
+}

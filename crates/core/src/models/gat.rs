@@ -1,0 +1,344 @@
+//! Single-head graph attention (GAT) layers over blocks.
+
+use buffalo_blocks::Block;
+use buffalo_memsim::GnnShape;
+use buffalo_tensor::{Linear, Param, Tensor};
+
+const LEAKY_SLOPE: f32 = 0.2;
+
+/// One GAT layer: `h'_i = σ(Σ_j α_ij · W h_j)` with
+/// `α = softmax_j(LeakyReLU(a_l · W h_i + a_r · W h_j))` over `j ∈ {i} ∪
+/// N(i)` (a self edge is always included, as in the reference
+/// implementation).
+#[derive(Debug, Clone)]
+pub struct GatLayer {
+    lin: Linear,
+    a_l: Param,
+    a_r: Param,
+    relu: bool,
+    out_dim: usize,
+}
+
+/// Cached forward state of one [`GatLayer`].
+#[derive(Debug)]
+pub struct GatCache {
+    h_src: Tensor,
+    z: Tensor,
+    /// Per destination: attention weights over `{self} ∪ neighbors`.
+    alphas: Vec<Vec<f32>>,
+    /// Per destination: whether each pre-activation score was positive
+    /// (LeakyReLU gradient selector).
+    positive: Vec<Vec<bool>>,
+    relu_mask: Option<Vec<bool>>,
+}
+
+impl GatLayer {
+    /// Creates a layer `in_dim → out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, relu: bool, seed: u64) -> Self {
+        GatLayer {
+            lin: Linear::new(in_dim, out_dim, seed),
+            a_l: Param::xavier(1, out_dim, seed.wrapping_add(1)),
+            a_r: Param::xavier(1, out_dim, seed.wrapping_add(2)),
+            relu,
+            out_dim,
+        }
+    }
+
+    /// Candidate source rows for destination `i`: self first, then the
+    /// block's in-neighbors.
+    fn candidates(block: &Block, i: usize) -> Vec<usize> {
+        let mut c = Vec::with_capacity(block.in_degree(i) + 1);
+        c.push(i); // prefix invariant: dst i is src row i
+        c.extend(block.src_positions(i).iter().map(|&p| p as usize));
+        c
+    }
+
+    /// Forward over one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h_src` rows mismatch `block.num_src()`.
+    pub fn forward(&self, block: &Block, h_src: &Tensor) -> (Tensor, GatCache) {
+        assert_eq!(h_src.rows(), block.num_src(), "h_src row count mismatch");
+        let n_dst = block.num_dst();
+        let z = self.lin.forward(h_src);
+        let dot = |a: &Tensor, row: &[f32]| -> f32 {
+            a.row(0).iter().zip(row).map(|(x, y)| x * y).sum()
+        };
+        let mut y = Tensor::zeros(n_dst, self.out_dim);
+        let mut alphas = Vec::with_capacity(n_dst);
+        let mut positive = Vec::with_capacity(n_dst);
+        for i in 0..n_dst {
+            let cands = Self::candidates(block, i);
+            let s_l = dot(&self.a_l.value, z.row(i));
+            let mut scores: Vec<f32> = cands
+                .iter()
+                .map(|&j| s_l + dot(&self.a_r.value, z.row(j)))
+                .collect();
+            let pos: Vec<bool> = scores.iter().map(|&s| s > 0.0).collect();
+            for s in scores.iter_mut() {
+                if *s <= 0.0 {
+                    *s *= LEAKY_SLOPE;
+                }
+            }
+            // Softmax.
+            let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for s in scores.iter_mut() {
+                *s = (*s - max).exp();
+                sum += *s;
+            }
+            for s in scores.iter_mut() {
+                *s /= sum;
+            }
+            let out = y.row_mut(i);
+            for (&j, &a) in cands.iter().zip(&scores) {
+                for (o, &zv) in out.iter_mut().zip(z.row(j)) {
+                    *o += a * zv;
+                }
+            }
+            alphas.push(scores);
+            positive.push(pos);
+        }
+        let relu_mask = self.relu.then(|| y.relu_inplace());
+        (
+            y,
+            GatCache {
+                h_src: h_src.clone(),
+                z,
+                alphas,
+                positive,
+                relu_mask,
+            },
+        )
+    }
+
+    /// Backward over one block: accumulates gradients, returns `dh_src`.
+    pub fn backward(&mut self, block: &Block, cache: &GatCache, dy: &Tensor) -> Tensor {
+        let n_dst = block.num_dst();
+        let mut dy = dy.clone();
+        if let Some(mask) = &cache.relu_mask {
+            dy.relu_backward(mask);
+        }
+        let mut dz = Tensor::zeros(cache.z.rows(), self.out_dim);
+        let mut da_l = Tensor::zeros(1, self.out_dim);
+        let mut da_r = Tensor::zeros(1, self.out_dim);
+        let dot = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+        for i in 0..n_dst {
+            let cands = GatLayer::candidates(block, i);
+            let alpha = &cache.alphas[i];
+            let pos = &cache.positive[i];
+            let dagg = dy.row(i).to_vec();
+            // dα and the softmax Jacobian.
+            let dalpha: Vec<f32> = cands
+                .iter()
+                .map(|&j| dot(&dagg, cache.z.row(j)))
+                .collect();
+            let sum_term: f32 = alpha.iter().zip(&dalpha).map(|(a, d)| a * d).sum();
+            for ((&j, (&a, &da)), &p) in cands
+                .iter()
+                .zip(alpha.iter().zip(&dalpha))
+                .zip(pos.iter())
+            {
+                // Through aggregation: dz_j += α_j · dagg.
+                for (o, &g) in dz.row_mut(j).iter_mut().zip(&dagg) {
+                    *o += a * g;
+                }
+                // Through softmax and LeakyReLU.
+                let mut ds = a * (da - sum_term);
+                if !p {
+                    ds *= LEAKY_SLOPE;
+                }
+                // s = a_l · z_i + a_r · z_j
+                for (gl, &zi) in da_l.row_mut(0).iter_mut().zip(cache.z.row(i)) {
+                    *gl += ds * zi;
+                }
+                for (gr, &zj) in da_r.row_mut(0).iter_mut().zip(cache.z.row(j)) {
+                    *gr += ds * zj;
+                }
+                for (o, &al) in dz.row_mut(i).iter_mut().zip(self.a_l.value.row(0)) {
+                    *o += ds * al;
+                }
+                for (o, &ar) in dz.row_mut(j).iter_mut().zip(self.a_r.value.row(0)) {
+                    *o += ds * ar;
+                }
+            }
+        }
+        self.a_l.accumulate(&da_l);
+        self.a_r.accumulate(&da_r);
+        self.lin.backward(&cache.h_src, &dz)
+    }
+
+    /// Trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.lin.params_mut();
+        ps.push(&mut self.a_l);
+        ps.push(&mut self.a_r);
+        ps
+    }
+}
+
+/// A full GAT model: one [`GatLayer`] per block.
+#[derive(Debug, Clone)]
+pub struct GatModel {
+    layers: Vec<GatLayer>,
+}
+
+impl GatModel {
+    /// Builds the model for `shape` (aggregator field ignored).
+    pub fn new(shape: &GnnShape, seed: u64) -> Self {
+        let dims = shape.layer_dims();
+        let last = dims.len() - 1;
+        let layers = dims
+            .iter()
+            .enumerate()
+            .map(|(l, &(i, o))| GatLayer::new(i, o, l != last, seed.wrapping_add(31 * l as u64)))
+            .collect();
+        GatModel { layers }
+    }
+
+    /// Model depth.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward over `blocks` (input layer first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks.len()` differs from model depth.
+    pub fn forward(&self, blocks: &[Block], features: &Tensor) -> (Tensor, Vec<GatCache>) {
+        assert_eq!(blocks.len(), self.layers.len(), "block/layer count mismatch");
+        let mut h = features.clone();
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for (layer, block) in self.layers.iter().zip(blocks) {
+            let (h_next, cache) = layer.forward(block, &h);
+            caches.push(cache);
+            h = h_next;
+        }
+        (h, caches)
+    }
+
+    /// Backward over `blocks`; accumulates parameter gradients.
+    pub fn backward(&mut self, blocks: &[Block], caches: &[GatCache], dlogits: &Tensor) {
+        let mut dh = dlogits.clone();
+        for ((layer, block), cache) in self
+            .layers
+            .iter_mut()
+            .zip(blocks)
+            .rev()
+            .zip(caches.iter().rev())
+        {
+            dh = layer.backward(block, cache, &dh);
+        }
+    }
+
+    /// All parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffalo_memsim::AggregatorKind;
+    use buffalo_tensor::softmax_cross_entropy;
+
+    fn test_block() -> Block {
+        Block::from_parts(
+            vec![0, 1],
+            vec![0, 1, 2, 3],
+            vec![0, 2, 5],
+            vec![1, 2, 2, 3, 0],
+        )
+    }
+
+    fn inner_block() -> Block {
+        Block::from_parts(
+            vec![0, 1, 2, 3],
+            vec![0, 1, 2, 3, 4],
+            vec![0, 1, 2, 3, 4],
+            vec![1, 2, 3, 4],
+        )
+    }
+
+    #[test]
+    fn attention_weights_sum_to_one() {
+        let layer = GatLayer::new(3, 4, false, 5);
+        let h = Tensor::xavier(4, 3, 2);
+        let (_, cache) = layer.forward(&test_block(), &h);
+        for alpha in &cache.alphas {
+            let sum: f32 = alpha.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(alpha.iter().all(|&a| a >= 0.0));
+        }
+    }
+
+    #[test]
+    fn isolated_dst_attends_to_itself() {
+        let layer = GatLayer::new(2, 2, false, 3);
+        let block = Block::from_parts(vec![0], vec![0], vec![0, 0], vec![]);
+        let h = Tensor::from_vec(1, 2, vec![1.0, -1.0]);
+        let (y, cache) = layer.forward(&block, &h);
+        assert_eq!(cache.alphas[0], vec![1.0]);
+        // Output = 1.0 * z_self.
+        let z = layer.lin.forward(&h);
+        assert_eq!(y.row(0), z.row(0));
+    }
+
+    #[test]
+    fn gradcheck_gat_model() {
+        let shape = GnnShape::new(3, 4, 2, 2, AggregatorKind::Attention);
+        let mut model = GatModel::new(&shape, 11);
+        let blocks = vec![inner_block(), test_block()];
+        let x = Tensor::xavier(5, 3, 6);
+        let labels = [1u32, 0];
+        let (logits, caches) = model.forward(&blocks, &x);
+        let out = softmax_cross_entropy(&logits, &labels, None);
+        for p in model.params_mut() {
+            p.zero_grad();
+        }
+        model.backward(&blocks, &caches, &out.dlogits);
+        let loss_of = |m: &GatModel| {
+            let (lg, _) = m.forward(&blocks, &x);
+            softmax_cross_entropy(&lg, &labels, None).loss
+        };
+        let eps = 1e-2f32;
+        let n_params = model.params_mut().len();
+        for pi in 0..n_params {
+            let (r, c, analytic, base) = {
+                let mut ps = model.params_mut();
+                let p = &mut ps[pi];
+                let r = p.value.rows() / 2;
+                let c = p.value.cols() / 2;
+                (r, c, p.grad.get(r, c), p.value.get(r, c))
+            };
+            {
+                model.params_mut()[pi].value.set(r, c, base + eps);
+            }
+            let up = loss_of(&model);
+            {
+                model.params_mut()[pi].value.set(r, c, base - eps);
+            }
+            let down = loss_of(&model);
+            {
+                model.params_mut()[pi].value.set(r, c, base);
+            }
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "param {pi} ({r},{c}): numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_output_has_class_width() {
+        let shape = GnnShape::new(3, 4, 2, 7, AggregatorKind::Attention);
+        let model = GatModel::new(&shape, 2);
+        let x = Tensor::xavier(5, 3, 1);
+        let (logits, _) = model.forward(&[inner_block(), test_block()], &x);
+        assert_eq!((logits.rows(), logits.cols()), (2, 7));
+    }
+}

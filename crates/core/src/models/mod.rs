@@ -1,0 +1,128 @@
+//! GNN models with explicit forward/backward over blocks.
+//!
+//! A model consumes the `L` blocks of a (micro-)batch, input layer first,
+//! and the feature matrix of the innermost block's source nodes. The
+//! forward pass returns logits for the output-layer destinations; the
+//! backward pass consumes the loss gradient and accumulates parameter
+//! gradients — it does not return feature gradients because GNN node
+//! features are not trained here.
+
+mod gat;
+mod gcn;
+mod sage;
+
+pub use gat::{GatLayer, GatModel};
+pub use gcn::{GcnCache, GcnLayer, GcnModel};
+pub use sage::{SageCache, SageLayer, SageModel};
+
+use buffalo_blocks::Block;
+use buffalo_memsim::{AggregatorKind, GnnShape};
+use buffalo_tensor::{Param, Tensor};
+
+/// A trainable GNN: GraphSAGE (any aggregator), GAT, or GCN.
+#[derive(Debug, Clone)]
+pub enum GnnModel {
+    /// GraphSAGE with a configurable aggregator.
+    Sage(SageModel),
+    /// Graph attention network (single-head attention aggregator).
+    Gat(GatModel),
+    /// Graph convolutional network (normalized mean with self-loop).
+    Gcn(GcnModel),
+}
+
+impl GnnModel {
+    /// Builds a GraphSAGE model matching `shape`.
+    pub fn sage(shape: &GnnShape, seed: u64) -> Self {
+        GnnModel::Sage(SageModel::new(shape, seed))
+    }
+
+    /// Builds a GAT model matching `shape` (the aggregator field of
+    /// `shape` is ignored; attention is used).
+    pub fn gat(shape: &GnnShape, seed: u64) -> Self {
+        GnnModel::Gat(GatModel::new(shape, seed))
+    }
+
+    /// Builds a GCN model matching `shape` (aggregator field ignored).
+    pub fn gcn(shape: &GnnShape, seed: u64) -> Self {
+        GnnModel::Gcn(GcnModel::new(shape, seed))
+    }
+
+    /// Builds the model named by `shape.aggregator`: `Attention` → GAT,
+    /// anything else → GraphSAGE.
+    pub fn for_shape(shape: &GnnShape, seed: u64) -> Self {
+        match shape.aggregator {
+            AggregatorKind::Attention => GnnModel::gat(shape, seed),
+            _ => GnnModel::sage(shape, seed),
+        }
+    }
+
+    /// Forward pass over `blocks` (input layer first) with `features`
+    /// rows for `blocks[0].src_nodes()`. Returns logits
+    /// (`num output dst × classes`) and the cache for backward.
+    pub fn forward(&self, blocks: &[Block], features: &Tensor) -> (Tensor, ModelCache) {
+        match self {
+            GnnModel::Sage(m) => {
+                let (logits, c) = m.forward(blocks, features);
+                (logits, ModelCache::Sage(c))
+            }
+            GnnModel::Gat(m) => {
+                let (logits, c) = m.forward(blocks, features);
+                (logits, ModelCache::Gat(c))
+            }
+            GnnModel::Gcn(m) => {
+                let (logits, c) = m.forward(blocks, features);
+                (logits, ModelCache::Gcn(c))
+            }
+        }
+    }
+
+    /// Backward pass; accumulates parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache kind does not match the model kind.
+    pub fn backward(&mut self, blocks: &[Block], cache: &ModelCache, dlogits: &Tensor) {
+        match (self, cache) {
+            (GnnModel::Sage(m), ModelCache::Sage(c)) => m.backward(blocks, c, dlogits),
+            (GnnModel::Gat(m), ModelCache::Gat(c)) => m.backward(blocks, c, dlogits),
+            (GnnModel::Gcn(m), ModelCache::Gcn(c)) => m.backward(blocks, c, dlogits),
+            _ => panic!("model/cache kind mismatch"),
+        }
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            GnnModel::Sage(m) => m.params_mut(),
+            GnnModel::Gat(m) => m.params_mut(),
+            GnnModel::Gcn(m) => m.params_mut(),
+        }
+    }
+
+    /// Clears all gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Model depth (number of blocks consumed per step).
+    pub fn num_layers(&self) -> usize {
+        match self {
+            GnnModel::Sage(m) => m.num_layers(),
+            GnnModel::Gat(m) => m.num_layers(),
+            GnnModel::Gcn(m) => m.num_layers(),
+        }
+    }
+}
+
+/// Forward-pass cache, matching the model kind.
+#[derive(Debug)]
+pub enum ModelCache {
+    /// GraphSAGE cache.
+    Sage(Vec<SageCache>),
+    /// GAT cache.
+    Gat(Vec<gat::GatCache>),
+    /// GCN cache.
+    Gcn(Vec<gcn::GcnCache>),
+}

@@ -1,0 +1,510 @@
+//! GraphSAGE with mean, max-pool, and LSTM aggregators, implemented over
+//! blocks with explicit backward passes.
+//!
+//! The LSTM path performs *degree bucketing* inside every layer exactly as
+//! §II-C describes: destinations are grouped by in-degree so each group
+//! runs the recurrent aggregator over equal-length neighbor sequences with
+//! no padding.
+
+use buffalo_blocks::Block;
+use buffalo_memsim::{AggregatorKind, GnnShape};
+use buffalo_tensor::{Linear, LstmCell, LstmState, Param, Tensor};
+use std::collections::BTreeMap;
+
+/// One GraphSAGE layer: `h' = σ(W_self · h_dst + W_neigh · AGG(h_srcs))`.
+#[derive(Debug, Clone)]
+pub struct SageLayer {
+    w_self: Linear,
+    w_neigh: Linear,
+    agg: AggregatorImpl,
+    relu: bool,
+    in_dim: usize,
+}
+
+#[derive(Debug, Clone)]
+enum AggregatorImpl {
+    Mean,
+    MaxPool { proj: Linear },
+    Lstm { cell: LstmCell },
+}
+
+/// Cached forward state of one [`SageLayer`].
+#[derive(Debug)]
+pub struct SageCache {
+    h_src: Tensor,
+    agg: Tensor,
+    relu_mask: Option<Vec<bool>>,
+    agg_cache: AggCache,
+}
+
+#[derive(Debug)]
+enum AggCache {
+    Mean,
+    MaxPool {
+        proj: Tensor,
+        proj_mask: Vec<bool>,
+        /// Per destination, per output dim: the h_src row index that won
+        /// the max (`u32::MAX` for degree-0 destinations).
+        argmax: Vec<Vec<u32>>,
+    },
+    Lstm {
+        buckets: Vec<LstmBucketCache>,
+    },
+}
+
+#[derive(Debug)]
+struct LstmBucketCache {
+    /// Destination indices (rows of the layer output) in this bucket.
+    dst_rows: Vec<usize>,
+    state: LstmState,
+}
+
+impl SageLayer {
+    /// Creates a layer `in_dim → out_dim` with the given aggregator.
+    /// `relu` enables the output nonlinearity (disabled on the last
+    /// layer).
+    pub fn new(
+        in_dim: usize,
+        out_dim: usize,
+        aggregator: AggregatorKind,
+        relu: bool,
+        seed: u64,
+    ) -> Self {
+        let agg = match aggregator {
+            AggregatorKind::Mean => AggregatorImpl::Mean,
+            AggregatorKind::MaxPool => AggregatorImpl::MaxPool {
+                proj: Linear::new(in_dim, in_dim, seed.wrapping_add(2)),
+            },
+            AggregatorKind::Lstm => AggregatorImpl::Lstm {
+                cell: LstmCell::new(in_dim, seed.wrapping_add(3)),
+            },
+            AggregatorKind::Attention => {
+                panic!("use GatModel for the attention aggregator")
+            }
+        };
+        SageLayer {
+            w_self: Linear::new(in_dim, out_dim, seed),
+            w_neigh: Linear::new(in_dim, out_dim, seed.wrapping_add(1)),
+            agg,
+            relu,
+            in_dim,
+        }
+    }
+
+    /// Forward over one block. `h_src` rows follow `block.src_nodes()`
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h_src` row count differs from `block.num_src()`.
+    pub fn forward(&self, block: &Block, h_src: &Tensor) -> (Tensor, SageCache) {
+        assert_eq!(h_src.rows(), block.num_src(), "h_src row count mismatch");
+        assert_eq!(h_src.cols(), self.in_dim, "h_src width mismatch");
+        let n_dst = block.num_dst();
+        let dst_rows: Vec<usize> = (0..n_dst).collect();
+        let h_dst_prev = h_src.gather_rows(&dst_rows);
+        let (agg, agg_cache) = self.aggregate(block, h_src);
+        let mut y = self.w_self.forward(&h_dst_prev);
+        y.add_assign(&self.w_neigh.forward(&agg));
+        let relu_mask = self.relu.then(|| y.relu_inplace());
+        (
+            y,
+            SageCache {
+                h_src: h_src.clone(),
+                agg,
+                relu_mask,
+                agg_cache,
+            },
+        )
+    }
+
+    fn aggregate(&self, block: &Block, h_src: &Tensor) -> (Tensor, AggCache) {
+        let n_dst = block.num_dst();
+        let dim = self.in_dim;
+        match &self.agg {
+            AggregatorImpl::Mean => {
+                let mut agg = Tensor::zeros(n_dst, dim);
+                for i in 0..n_dst {
+                    let pos = block.src_positions(i);
+                    if pos.is_empty() {
+                        continue;
+                    }
+                    let inv = 1.0 / pos.len() as f32;
+                    for &p in pos {
+                        let src_row = h_src.row(p as usize);
+                        let dst_row = agg.row_mut(i);
+                        for (a, &s) in dst_row.iter_mut().zip(src_row) {
+                            *a += s * inv;
+                        }
+                    }
+                }
+                (agg, AggCache::Mean)
+            }
+            AggregatorImpl::MaxPool { proj } => {
+                let mut p = proj.forward(h_src);
+                let proj_mask = p.relu_inplace();
+                let mut agg = Tensor::zeros(n_dst, dim);
+                let mut argmax = vec![vec![u32::MAX; dim]; n_dst];
+                for i in 0..n_dst {
+                    let pos = block.src_positions(i);
+                    if pos.is_empty() {
+                        continue;
+                    }
+                    for d in 0..dim {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_p = u32::MAX;
+                        for &q in pos {
+                            let v = p.get(q as usize, d);
+                            if v > best {
+                                best = v;
+                                best_p = q;
+                            }
+                        }
+                        agg.set(i, d, best);
+                        argmax[i][d] = best_p;
+                    }
+                }
+                (
+                    agg,
+                    AggCache::MaxPool {
+                        proj: p,
+                        proj_mask,
+                        argmax,
+                    },
+                )
+            }
+            AggregatorImpl::Lstm { cell } => {
+                // Degree bucketing (§II-C): group destinations by
+                // in-degree so every bucket processes equal-length
+                // sequences without padding.
+                let mut by_degree: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                for i in 0..n_dst {
+                    let d = block.in_degree(i);
+                    if d > 0 {
+                        by_degree.entry(d).or_default().push(i);
+                    }
+                }
+                let mut agg = Tensor::zeros(n_dst, dim);
+                let mut buckets = Vec::with_capacity(by_degree.len());
+                for (degree, dst_rows) in by_degree {
+                    let mut seq = Vec::with_capacity(degree);
+                    for t in 0..degree {
+                        let rows: Vec<usize> = dst_rows
+                            .iter()
+                            .map(|&i| block.src_positions(i)[t] as usize)
+                            .collect();
+                        seq.push(h_src.gather_rows(&rows));
+                    }
+                    let (h_final, state) = cell.forward(&seq);
+                    for (j, &i) in dst_rows.iter().enumerate() {
+                        agg.row_mut(i).copy_from_slice(h_final.row(j));
+                    }
+                    buckets.push(LstmBucketCache { dst_rows, state });
+                }
+                (agg, AggCache::Lstm { buckets })
+            }
+        }
+    }
+
+    /// Backward over one block: accumulates parameter gradients and
+    /// returns the source-embedding gradient (rows follow
+    /// `block.src_nodes()`).
+    pub fn backward(&mut self, block: &Block, cache: &SageCache, dy: &Tensor) -> Tensor {
+        let n_dst = block.num_dst();
+        let mut dy = dy.clone();
+        if let Some(mask) = &cache.relu_mask {
+            dy.relu_backward(mask);
+        }
+        let dst_rows: Vec<usize> = (0..n_dst).collect();
+        let h_dst_prev = cache.h_src.gather_rows(&dst_rows);
+        let dh_dst = self.w_self.backward(&h_dst_prev, &dy);
+        let d_agg = self.w_neigh.backward(&cache.agg, &dy);
+        let mut dh_src = Tensor::zeros(block.num_src(), self.in_dim);
+        dh_src.scatter_add_rows(&dst_rows, &dh_dst);
+        match (&mut self.agg, &cache.agg_cache) {
+            (AggregatorImpl::Mean, AggCache::Mean) => {
+                for i in 0..n_dst {
+                    let pos = block.src_positions(i);
+                    if pos.is_empty() {
+                        continue;
+                    }
+                    let inv = 1.0 / pos.len() as f32;
+                    for &p in pos {
+                        let dst_row: Vec<f32> =
+                            d_agg.row(i).iter().map(|&g| g * inv).collect();
+                        let src_row = dh_src.row_mut(p as usize);
+                        for (s, g) in src_row.iter_mut().zip(dst_row) {
+                            *s += g;
+                        }
+                    }
+                }
+            }
+            (
+                AggregatorImpl::MaxPool { proj },
+                AggCache::MaxPool {
+                    proj: p_cached,
+                    proj_mask,
+                    argmax,
+                },
+            ) => {
+                let mut dproj = Tensor::zeros(p_cached.rows(), self.in_dim);
+                for i in 0..n_dst {
+                    for d in 0..self.in_dim {
+                        let q = argmax[i][d];
+                        if q != u32::MAX {
+                            let cur = dproj.get(q as usize, d);
+                            dproj.set(q as usize, d, cur + d_agg.get(i, d));
+                        }
+                    }
+                }
+                dproj.relu_backward(proj_mask);
+                let dh_from_proj = proj.backward(&cache.h_src, &dproj);
+                dh_src.add_assign(&dh_from_proj);
+            }
+            (AggregatorImpl::Lstm { cell }, AggCache::Lstm { buckets }) => {
+                for bucket in buckets {
+                    let dh_final = d_agg.gather_rows(&bucket.dst_rows);
+                    let dxs = cell.backward(&bucket.state, &dh_final);
+                    for (t, dx) in dxs.iter().enumerate() {
+                        let rows: Vec<usize> = bucket
+                            .dst_rows
+                            .iter()
+                            .map(|&i| block.src_positions(i)[t] as usize)
+                            .collect();
+                        dh_src.scatter_add_rows(&rows, dx);
+                    }
+                }
+            }
+            _ => unreachable!("aggregator/cache mismatch"),
+        }
+        dh_src
+    }
+
+    /// Trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.w_self.params_mut();
+        ps.extend(self.w_neigh.params_mut());
+        match &mut self.agg {
+            AggregatorImpl::Mean => {}
+            AggregatorImpl::MaxPool { proj } => ps.extend(proj.params_mut()),
+            AggregatorImpl::Lstm { cell } => ps.extend(cell.params_mut()),
+        }
+        ps
+    }
+}
+
+/// A full GraphSAGE model: one [`SageLayer`] per block.
+#[derive(Debug, Clone)]
+pub struct SageModel {
+    layers: Vec<SageLayer>,
+}
+
+impl SageModel {
+    /// Builds the model for `shape` with deterministic init.
+    pub fn new(shape: &GnnShape, seed: u64) -> Self {
+        let dims = shape.layer_dims();
+        let last = dims.len() - 1;
+        let layers = dims
+            .iter()
+            .enumerate()
+            .map(|(l, &(i, o))| {
+                SageLayer::new(
+                    i,
+                    o,
+                    shape.aggregator,
+                    l != last,
+                    seed.wrapping_add(100 * l as u64),
+                )
+            })
+            .collect();
+        SageModel { layers }
+    }
+
+    /// Model depth.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward over `blocks` (input layer first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks.len()` differs from the model depth.
+    pub fn forward(&self, blocks: &[Block], features: &Tensor) -> (Tensor, Vec<SageCache>) {
+        assert_eq!(blocks.len(), self.layers.len(), "block/layer count mismatch");
+        let mut h = features.clone();
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for (layer, block) in self.layers.iter().zip(blocks) {
+            let (h_next, cache) = layer.forward(block, &h);
+            caches.push(cache);
+            h = h_next;
+        }
+        (h, caches)
+    }
+
+    /// Backward over `blocks`; accumulates parameter gradients.
+    pub fn backward(&mut self, blocks: &[Block], caches: &[SageCache], dlogits: &Tensor) {
+        let mut dh = dlogits.clone();
+        for ((layer, block), cache) in self
+            .layers
+            .iter_mut()
+            .zip(blocks)
+            .rev()
+            .zip(caches.iter().rev())
+        {
+            dh = layer.backward(block, cache, &dh);
+        }
+    }
+
+    /// All parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffalo_tensor::softmax_cross_entropy;
+
+    /// Block: 2 dsts; dst0 <- {1, 2}, dst1 <- {2, 3, 0}; srcs {0,1,2,3}.
+    fn test_block() -> Block {
+        Block::from_parts(
+            vec![0, 1],
+            vec![0, 1, 2, 3],
+            vec![0, 2, 5],
+            vec![1, 2, 2, 3, 0],
+        )
+    }
+
+    fn inner_block() -> Block {
+        // dsts {0,1,2,3}; srcs {0,1,2,3,4}; each dst i <- {i+1}
+        Block::from_parts(
+            vec![0, 1, 2, 3],
+            vec![0, 1, 2, 3, 4],
+            vec![0, 1, 2, 3, 4],
+            vec![1, 2, 3, 4],
+        )
+    }
+
+    fn shape(agg: AggregatorKind) -> GnnShape {
+        GnnShape::new(3, 4, 2, 2, agg)
+    }
+
+    fn numeric_gradcheck(agg: AggregatorKind) {
+        let s = shape(agg);
+        let mut model = SageModel::new(&s, 42);
+        let blocks = vec![inner_block(), test_block()];
+        let x = Tensor::xavier(5, 3, 7);
+        let labels = [0u32, 1];
+        // Analytic gradient.
+        let (logits, caches) = model.forward(&blocks, &x);
+        let out = softmax_cross_entropy(&logits, &labels, None);
+        for p in model.params_mut() {
+            p.zero_grad();
+        }
+        model.backward(&blocks, &caches, &out.dlogits);
+        // Numeric check on a handful of parameters of each kind.
+        let loss_of = |m: &SageModel| {
+            let (lg, _) = m.forward(&blocks, &x);
+            softmax_cross_entropy(&lg, &labels, None).loss
+        };
+        let eps = 1e-2f32;
+        let n_params = model.params_mut().len();
+        for pi in 0..n_params {
+            let (r, c, analytic, base) = {
+                let mut ps = model.params_mut();
+                let p = &mut ps[pi];
+                let r = p.value.rows() / 2;
+                let c = p.value.cols() / 2;
+                (r, c, p.grad.get(r, c), p.value.get(r, c))
+            };
+            {
+                let mut ps = model.params_mut();
+                ps[pi].value.set(r, c, base + eps);
+            }
+            let up = loss_of(&model);
+            {
+                let mut ps = model.params_mut();
+                ps[pi].value.set(r, c, base - eps);
+            }
+            let down = loss_of(&model);
+            {
+                let mut ps = model.params_mut();
+                ps[pi].value.set(r, c, base);
+            }
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "{agg:?} param {pi} ({r},{c}): numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_mean() {
+        numeric_gradcheck(AggregatorKind::Mean);
+    }
+
+    #[test]
+    fn gradcheck_maxpool() {
+        numeric_gradcheck(AggregatorKind::MaxPool);
+    }
+
+    #[test]
+    fn gradcheck_lstm() {
+        numeric_gradcheck(AggregatorKind::Lstm);
+    }
+
+    #[test]
+    fn mean_aggregation_is_exact() {
+        let layer = SageLayer::new(2, 2, AggregatorKind::Mean, false, 1);
+        let block = Block::from_parts(vec![0], vec![0, 1, 2], vec![0, 2], vec![1, 2]);
+        let h = Tensor::from_vec(3, 2, vec![0.0, 0.0, 2.0, 4.0, 6.0, 8.0]);
+        let (_, cache) = layer.forward(&block, &h);
+        assert_eq!(cache.agg.row(0), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn zero_degree_dst_aggregates_to_zero() {
+        let layer = SageLayer::new(2, 2, AggregatorKind::Mean, false, 1);
+        // dst 0 has no in-edges.
+        let block = Block::from_parts(vec![0], vec![0], vec![0, 0], vec![]);
+        let h = Tensor::from_vec(1, 2, vec![1.0, 1.0]);
+        let (_, cache) = layer.forward(&block, &h);
+        assert_eq!(cache.agg.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn lstm_buckets_group_by_degree() {
+        let layer = SageLayer::new(3, 3, AggregatorKind::Lstm, false, 9);
+        let blocks = vec![inner_block(), test_block()];
+        let x = Tensor::xavier(5, 3, 3);
+        // Layer over the output block: dst degrees are 2 and 3 — two
+        // buckets expected.
+        let (_, cache) = layer.forward(&blocks[1], &layer.forward(&blocks[0], &x).0);
+        match cache.agg_cache {
+            AggCache::Lstm { ref buckets } => assert_eq!(buckets.len(), 2),
+            _ => panic!("expected LSTM cache"),
+        }
+    }
+
+    #[test]
+    fn forward_output_shape_is_classes() {
+        let s = shape(AggregatorKind::Mean);
+        let model = SageModel::new(&s, 4);
+        let blocks = vec![inner_block(), test_block()];
+        let x = Tensor::xavier(5, 3, 8);
+        let (logits, _) = model.forward(&blocks, &x);
+        assert_eq!((logits.rows(), logits.cols()), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "block/layer count mismatch")]
+    fn forward_rejects_wrong_depth() {
+        let s = shape(AggregatorKind::Mean);
+        let model = SageModel::new(&s, 4);
+        let x = Tensor::xavier(4, 3, 8);
+        let _ = model.forward(&[test_block()], &x);
+    }
+}

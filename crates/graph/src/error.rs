@@ -1,0 +1,64 @@
+//! Error types for graph construction and dataset generation.
+
+use std::fmt;
+
+/// Errors produced by graph construction and the dataset catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a node outside the graph.
+    NodeOutOfRange {
+        /// The offending id.
+        node: u64,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A dataset name was not found in the catalog.
+    UnknownDataset(String),
+    /// A generator was configured with invalid parameters.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that failed.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range for {num_nodes} nodes")
+            }
+            GraphError::UnknownDataset(name) => write!(f, "unknown dataset `{name}`"),
+            GraphError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4,
+        };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+        let e = GraphError::UnknownDataset("foo".into());
+        assert!(e.to_string().contains("foo"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GraphError>();
+    }
+}

@@ -1,0 +1,263 @@
+//! Graph serialization: text edge lists and a compact binary CSR format.
+//!
+//! The text format interoperates with the edge lists common in graph
+//! repositories (SNAP, OGB dumps): one `src dst` pair per line, `#`
+//! comments ignored. The binary format is a fast-reload CSR dump for
+//! repeated experiments over the same synthetic graph.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::error::GraphError;
+use crate::GraphBuilder;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic header of the binary CSR format.
+const MAGIC: &[u8; 8] = b"BUFCSR01";
+
+/// Writes `g` as a text edge list (`src dst` per line, each stored
+/// adjacency entry once).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# nodes {}", g.num_nodes())?;
+    for v in g.node_ids() {
+        for &u in g.neighbors(v) {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a text edge list into a directed graph (each `src dst` line
+/// becomes an in-edge of `dst`). Lines starting with `#` and blank lines
+/// are skipped; node count is inferred from the largest id unless a
+/// `# nodes N` header is present.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for malformed lines; I/O
+/// errors are converted to the same variant with the underlying message.
+pub fn read_edge_list<R: Read>(r: R) -> Result<CsrGraph, GraphError> {
+    let invalid = |message: String| GraphError::InvalidParameter {
+        name: "edge_list",
+        message,
+    };
+    let r = BufReader::new(r);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut declared_nodes: Option<usize> = None;
+    let mut max_id: u64 = 0;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| invalid(format!("line {}: {e}", lineno + 1)))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            if it.next() == Some("nodes") {
+                if let Some(Ok(n)) = it.next().map(str::parse::<usize>) {
+                    declared_nodes = Some(n);
+                }
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (s, d) = match (it.next(), it.next()) {
+            (Some(s), Some(d)) => (s, d),
+            _ => return Err(invalid(format!("line {}: expected `src dst`", lineno + 1))),
+        };
+        let s: u64 = s
+            .parse()
+            .map_err(|_| invalid(format!("line {}: bad src `{s}`", lineno + 1)))?;
+        let d: u64 = d
+            .parse()
+            .map_err(|_| invalid(format!("line {}: bad dst `{d}`", lineno + 1)))?;
+        max_id = max_id.max(s).max(d);
+        if s > NodeId::MAX as u64 || d > NodeId::MAX as u64 {
+            return Err(GraphError::NodeOutOfRange {
+                node: s.max(d),
+                num_nodes: NodeId::MAX as usize,
+            });
+        }
+        edges.push((s as NodeId, d as NodeId));
+    }
+    let inferred = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = declared_nodes.unwrap_or(inferred).max(inferred);
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    b.extend_edges(edges);
+    Ok(b.build_directed())
+}
+
+/// Writes `g` in the compact binary CSR format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_binary<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for &o in g.offsets() {
+        w.write_all(&(o as u64).to_le_bytes())?;
+    }
+    for &v in g.neighbor_array() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a graph from the compact binary CSR format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] on magic/shape mismatches or
+/// I/O failure.
+pub fn read_binary<R: Read>(r: R) -> Result<CsrGraph, GraphError> {
+    let invalid = |message: &str| GraphError::InvalidParameter {
+        name: "binary_csr",
+        message: message.to_owned(),
+    };
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(|_| invalid("truncated header"))?;
+    if &magic != MAGIC {
+        return Err(invalid("bad magic"));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut read_u64 = |r: &mut BufReader<R>| -> Result<u64, GraphError> {
+        r.read_exact(&mut u64buf)
+            .map_err(|_| invalid("truncated body"))?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)? as usize);
+    }
+    let mut neighbors = Vec::with_capacity(m);
+    let mut u32buf = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut u32buf)
+            .map_err(|_| invalid("truncated neighbors"))?;
+        neighbors.push(NodeId::from_le_bytes(u32buf));
+    }
+    if offsets.last() != Some(&m) || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(invalid("inconsistent offsets"));
+    }
+    if neighbors.iter().any(|&u| (u as usize) >= n) {
+        return Err(invalid("neighbor id out of range"));
+    }
+    Ok(CsrGraph::from_parts(offsets, neighbors))
+}
+
+/// Convenience: writes the binary format to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// Convenience: reads either format from `path`, choosing by the magic
+/// bytes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for unreadable files.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    let bytes = std::fs::read(path).map_err(|e| GraphError::InvalidParameter {
+        name: "path",
+        message: e.to_string(),
+    })?;
+    if bytes.starts_with(MAGIC) {
+        read_binary(&bytes[..])
+    } else {
+        read_edge_list(&bytes[..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn sample() -> CsrGraph {
+        generators::barabasi_albert(300, 4, 0.3, 5).unwrap()
+    }
+
+    #[test]
+    fn edge_list_round_trips() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_round_trips() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn load_dispatches_on_magic() {
+        let g = sample();
+        let dir = std::env::temp_dir();
+        let bin = dir.join("buffalo_io_test.csr");
+        let txt = dir.join("buffalo_io_test.txt");
+        save(&g, &bin).unwrap();
+        write_edge_list(&g, std::fs::File::create(&txt).unwrap()).unwrap();
+        assert_eq!(load(&bin).unwrap(), g);
+        assert_eq!(load(&txt).unwrap(), g);
+        let _ = std::fs::remove_file(bin);
+        let _ = std::fs::remove_file(txt);
+    }
+
+    #[test]
+    fn edge_list_parses_comments_and_headers() {
+        let text = "# a comment\n# nodes 5\n\n0 1\n2 1\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("a b\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert!(read_binary(&buf[..buf.len() - 3]).is_err());
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_binary(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = CsrGraph::empty(4);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), g);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.num_nodes(), 4);
+        assert_eq!(g2.num_edges(), 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Budgeted device-memory simulator.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Handle to a live simulated allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocId(u64);
+
+/// Returned when an allocation would exceed the device budget — the
+/// simulated equivalent of CUDA's out-of-memory error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OomError {
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes in use at the time of the request.
+    pub in_use: u64,
+    /// Total device budget.
+    pub budget: u64,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} B with {} B in use of {} B budget",
+            self.requested, self.in_use, self.budget
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+#[derive(Debug, Default)]
+struct State {
+    live: HashMap<u64, u64>,
+    in_use: u64,
+    peak: u64,
+}
+
+/// A simulated GPU memory pool with a hard byte budget.
+///
+/// Thread-safe: trainers and schedulers share one device through `&self`.
+/// Allocation faults with [`OomError`] when the budget would be exceeded —
+/// this is how every "OOM" cell in the paper's tables is reproduced.
+///
+/// # Examples
+///
+/// ```
+/// use buffalo_memsim::DeviceMemory;
+///
+/// let dev = DeviceMemory::new(1_000);
+/// let a = dev.alloc(600).unwrap();
+/// assert!(dev.alloc(600).is_err()); // would exceed budget
+/// dev.free(a);
+/// assert!(dev.alloc(600).is_ok());
+/// assert_eq!(dev.peak(), 1_200 - 600); // peak was 600
+/// ```
+#[derive(Debug)]
+pub struct DeviceMemory {
+    budget: u64,
+    next_id: AtomicU64,
+    state: Mutex<State>,
+}
+
+impl DeviceMemory {
+    /// Creates a device with `budget` bytes of memory.
+    pub fn new(budget: u64) -> Self {
+        DeviceMemory {
+            budget,
+            next_id: AtomicU64::new(0),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Creates a device with a budget in GiB (the unit used throughout the
+    /// paper's figures: 16, 24, 48, 80 GB).
+    pub fn with_gib(gib: f64) -> Self {
+        DeviceMemory::new((gib * (1u64 << 30) as f64) as u64)
+    }
+
+    /// The configured budget in bytes.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Attempts to allocate `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] if the allocation would exceed the budget. The
+    /// pool is unchanged on failure.
+    pub fn alloc(&self, bytes: u64) -> Result<AllocId, OomError> {
+        let mut st = self.state.lock();
+        if st.in_use + bytes > self.budget {
+            return Err(OomError {
+                requested: bytes,
+                in_use: st.in_use,
+                budget: self.budget,
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        st.in_use += bytes;
+        st.peak = st.peak.max(st.in_use);
+        st.live.insert(id, bytes);
+        Ok(AllocId(id))
+    }
+
+    /// Releases a live allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free or an id from another device.
+    pub fn free(&self, id: AllocId) {
+        let mut st = self.state.lock();
+        let bytes = st
+            .live
+            .remove(&id.0)
+            .expect("free of unknown or already-freed allocation");
+        st.in_use -= bytes;
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.state.lock().in_use
+    }
+
+    /// High-water mark since creation or the last [`reset_peak`](Self::reset_peak).
+    pub fn peak(&self) -> u64 {
+        self.state.lock().peak
+    }
+
+    /// Resets the peak to the current usage (call between iterations to get
+    /// per-iteration peaks).
+    pub fn reset_peak(&self) {
+        let mut st = self.state.lock();
+        st.peak = st.in_use;
+    }
+
+    /// Frees everything (end of iteration / micro-batch teardown).
+    pub fn free_all(&self) {
+        let mut st = self.state.lock();
+        st.live.clear();
+        st.in_use = 0;
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.state.lock().live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let dev = DeviceMemory::new(100);
+        let a = dev.alloc(40).unwrap();
+        let b = dev.alloc(60).unwrap();
+        assert_eq!(dev.in_use(), 100);
+        dev.free(a);
+        assert_eq!(dev.in_use(), 60);
+        dev.free(b);
+        assert_eq!(dev.in_use(), 0);
+        assert_eq!(dev.peak(), 100);
+    }
+
+    #[test]
+    fn oom_reports_accurate_numbers() {
+        let dev = DeviceMemory::new(100);
+        let _a = dev.alloc(80).unwrap();
+        let err = dev.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(err.budget, 100);
+        // Failed alloc must not change state.
+        assert_eq!(dev.in_use(), 80);
+        assert_eq!(dev.live_allocations(), 1);
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let dev = DeviceMemory::new(100);
+        assert!(dev.alloc(100).is_ok());
+        assert!(dev.alloc(0).is_ok()); // zero-sized alloc always fits
+    }
+
+    #[test]
+    #[should_panic(expected = "already-freed")]
+    fn double_free_panics() {
+        let dev = DeviceMemory::new(10);
+        let a = dev.alloc(5).unwrap();
+        dev.free(a);
+        dev.free(a);
+    }
+
+    #[test]
+    fn reset_peak_tracks_iterations() {
+        let dev = DeviceMemory::new(1000);
+        let a = dev.alloc(700).unwrap();
+        dev.free(a);
+        assert_eq!(dev.peak(), 700);
+        dev.reset_peak();
+        assert_eq!(dev.peak(), 0);
+        let _ = dev.alloc(300).unwrap();
+        assert_eq!(dev.peak(), 300);
+    }
+
+    #[test]
+    fn free_all_clears_everything() {
+        let dev = DeviceMemory::new(100);
+        let _ = dev.alloc(10).unwrap();
+        let _ = dev.alloc(20).unwrap();
+        dev.free_all();
+        assert_eq!(dev.in_use(), 0);
+        assert_eq!(dev.live_allocations(), 0);
+    }
+
+    #[test]
+    fn with_gib_converts() {
+        let dev = DeviceMemory::with_gib(24.0);
+        assert_eq!(dev.budget(), 24 * (1u64 << 30));
+    }
+
+    #[test]
+    fn concurrent_allocations_respect_budget() {
+        use std::sync::Arc;
+        let dev = Arc::new(DeviceMemory::new(1_000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let d = Arc::clone(&dev);
+            handles.push(std::thread::spawn(move || {
+                let mut ok = 0;
+                for _ in 0..100 {
+                    if let Ok(id) = d.alloc(10) {
+                        ok += 1;
+                        std::hint::black_box(&id);
+                    }
+                }
+                ok
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(dev.in_use(), total * 10);
+        assert!(dev.in_use() <= 1_000);
+    }
+}

@@ -1,0 +1,33 @@
+//! Simulated device memory, compute cost modeling, and GNN memory
+//! estimation.
+//!
+//! The paper's experiments run on real GPUs (RTX 6000 24 GB, A100 80 GB).
+//! This reproduction has no GPU, so this crate supplies the two things
+//! Buffalo actually consumes from the hardware:
+//!
+//! * **Memory sizes** — [`DeviceMemory`] is a budgeted allocator that
+//!   tracks current/peak usage and faults with [`OomError`] exactly when a
+//!   real device would, and [`measure`] computes the exact training
+//!   footprint of a micro-batch from its blocks (the "profiled ground
+//!   truth" that Table III compares the analytical estimator against).
+//! * **Times** — [`CostModel`] converts FLOPs and byte movement into
+//!   simulated seconds using published device characteristics.
+//!
+//! The analytical side of the paper lives in [`estimate`]:
+//! `BucketMemEstimator` (per-bucket working-memory estimates) and the
+//! redundancy-aware grouping ratio of Eq. 1,
+//! `R_group[i] = min(1, I_i / (O_i · D_i · C))`, combined per Eq. 2 as
+//! `Σ M_est[i] · R_group[i]`.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+mod device;
+pub mod estimate;
+pub mod measure;
+mod shape;
+pub mod tiered;
+
+pub use cost::CostModel;
+pub use device::{AllocId, DeviceMemory, OomError};
+pub use shape::{AggregatorKind, GnnShape};

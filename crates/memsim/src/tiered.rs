@@ -1,0 +1,150 @@
+//! Tiered-memory extension (the paper's closing pointer: "Buffalo is a
+//! solution to leverage tiered memory", §VI).
+//!
+//! An alternative to micro-batching is keeping the whole batch and
+//! *spilling* retained tensors to a slower tier (host DRAM over PCIe, or
+//! CXL memory): activations written out after the forward pass and read
+//! back for backward. This module models that option so the two
+//! memory-capacity strategies can be compared:
+//!
+//! * **Buffalo**: split into `K` micro-batches; extra cost = per-micro
+//!   overhead + cross-micro redundancy.
+//! * **Spilling**: one batch; extra cost = two link crossings per spilled
+//!   byte.
+//!
+//! The `ablate-tiered` experiment sweeps the fast-tier budget to locate
+//! the crossover.
+
+use crate::measure::MemoryBreakdown;
+
+/// Tiered-memory configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieredConfig {
+    /// Fast-tier (device) capacity in bytes.
+    pub fast_bytes: u64,
+    /// Spill-link bandwidth in bytes/s (PCIe ≈ 12–25 GB/s, CXL ≈ 30–60
+    /// GB/s).
+    pub spill_bw: f64,
+}
+
+/// Result of planning a spill for one training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpillPlan {
+    /// Bytes kept resident in the fast tier.
+    pub resident: u64,
+    /// Bytes spilled to the slow tier.
+    pub spilled: u64,
+    /// Simulated seconds of spill traffic (each spilled byte crosses the
+    /// link twice: written after forward, read before backward).
+    pub spill_seconds: f64,
+    /// Whether the step fits at all (parameters and one layer's working
+    /// set must stay resident).
+    pub feasible: bool,
+}
+
+/// Plans which parts of a training step's footprint spill to the slow
+/// tier under `cfg`.
+///
+/// Priority order (most-reusable stays fast): parameters and the block
+/// structure are pinned; activations spill before aggregator workspace
+/// only if needed; features spill first (they are read once per pass).
+pub fn plan_spill(breakdown: &MemoryBreakdown, cfg: &TieredConfig) -> SpillPlan {
+    let pinned = breakdown.parameters + breakdown.structure;
+    if pinned > cfg.fast_bytes {
+        return SpillPlan {
+            resident: pinned,
+            spilled: 0,
+            spill_seconds: 0.0,
+            feasible: false,
+        };
+    }
+    let mut budget = cfg.fast_bytes - pinned;
+    let mut spilled = 0u64;
+    // Spill order: features, then workspace, then activations.
+    for &portion in &[breakdown.features, breakdown.workspace, breakdown.activations] {
+        if portion <= budget {
+            budget -= portion;
+        } else {
+            spilled += portion - budget;
+            budget = 0;
+        }
+    }
+    let resident = breakdown.total() - spilled;
+    SpillPlan {
+        resident,
+        spilled,
+        spill_seconds: 2.0 * spilled as f64 / cfg.spill_bw,
+        feasible: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown() -> MemoryBreakdown {
+        MemoryBreakdown {
+            features: 100,
+            activations: 200,
+            workspace: 600,
+            parameters: 50,
+            structure: 50,
+        }
+    }
+
+    #[test]
+    fn no_spill_when_everything_fits() {
+        let plan = plan_spill(
+            &breakdown(),
+            &TieredConfig {
+                fast_bytes: 10_000,
+                spill_bw: 1.0,
+            },
+        );
+        assert!(plan.feasible);
+        assert_eq!(plan.spilled, 0);
+        assert_eq!(plan.resident, 1_000);
+        assert_eq!(plan.spill_seconds, 0.0);
+    }
+
+    #[test]
+    fn partial_spill_prefers_features_then_workspace() {
+        // pinned 100; remaining budget 500 holds features (100) + 400 of
+        // workspace; 200 workspace + 200 activations spill.
+        let plan = plan_spill(
+            &breakdown(),
+            &TieredConfig {
+                fast_bytes: 600,
+                spill_bw: 2.0,
+            },
+        );
+        assert!(plan.feasible);
+        assert_eq!(plan.spilled, 400);
+        assert_eq!(plan.resident, 600);
+        assert_eq!(plan.spill_seconds, 400.0); // 2 * 400 / 2
+    }
+
+    #[test]
+    fn infeasible_when_pinned_exceeds_fast_tier() {
+        let plan = plan_spill(
+            &breakdown(),
+            &TieredConfig {
+                fast_bytes: 80,
+                spill_bw: 1.0,
+            },
+        );
+        assert!(!plan.feasible);
+    }
+
+    #[test]
+    fn spill_grows_as_budget_shrinks() {
+        let cfg = |fast| TieredConfig {
+            fast_bytes: fast,
+            spill_bw: 1.0,
+        };
+        let a = plan_spill(&breakdown(), &cfg(900));
+        let b = plan_spill(&breakdown(), &cfg(500));
+        assert!(b.spilled > a.spilled);
+        assert!(b.spill_seconds > a.spill_seconds);
+    }
+}

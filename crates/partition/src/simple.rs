@@ -1,0 +1,110 @@
+//! Random and Range 1-D output-node partitioners (§V-H).
+
+use buffalo_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Range partitioning: sequentially and evenly splits the 1-D space of
+/// output nodes. With outputs `{10, 35, 46, 79, 105, 123, 254, 328}` and
+/// `k = 2` this yields `{10, 35, 46, 79}` and `{105, 123, 254, 328}` — the
+/// paper's own example.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn range_partition(num_outputs: usize, k: usize) -> Vec<Vec<NodeId>> {
+    assert!(k > 0, "k must be positive");
+    let k_eff = k.min(num_outputs.max(1));
+    let base = num_outputs / k_eff;
+    let extra = num_outputs % k_eff;
+    let mut groups = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for i in 0..k_eff {
+        let len = base + usize::from(i < extra);
+        groups.push(((start as NodeId)..(start + len) as NodeId).collect());
+        start += len;
+    }
+    groups.resize_with(k, Vec::new);
+    groups
+}
+
+/// Random partitioning: shuffles the output nodes, then splits evenly.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn random_partition(num_outputs: usize, k: usize, seed: u64) -> Vec<Vec<NodeId>> {
+    assert!(k > 0, "k must be positive");
+    let mut order: Vec<NodeId> = (0..num_outputs as NodeId).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let k_eff = k.min(num_outputs.max(1));
+    let base = num_outputs / k_eff;
+    let extra = num_outputs % k_eff;
+    let mut groups = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for i in 0..k_eff {
+        let len = base + usize::from(i < extra);
+        groups.push(order[start..start + len].to_vec());
+        start += len;
+    }
+    groups.resize_with(k, Vec::new);
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn range_matches_paper_example() {
+        // 8 outputs into 2 parts: first four and last four.
+        let g = range_partition(8, 2);
+        assert_eq!(g[0], vec![0, 1, 2, 3]);
+        assert_eq!(g[1], vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn random_is_a_shuffled_partition() {
+        let g = random_partition(100, 4, 9);
+        let mut all: Vec<NodeId> = g.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        // Not the identity arrangement.
+        assert_ne!(g[0], (0..25).collect::<Vec<NodeId>>());
+    }
+
+    #[test]
+    fn more_parts_than_outputs_leaves_empties() {
+        let g = range_partition(3, 5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.iter().map(Vec::len).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn zero_outputs_is_fine() {
+        let g = random_partition(0, 3, 1);
+        assert_eq!(g.len(), 3);
+        assert!(g.iter().all(Vec::is_empty));
+    }
+
+    proptest! {
+        /// Both methods partition all outputs with near-even sizes.
+        #[test]
+        fn partitions_are_even(n in 0usize..500, k in 1usize..16, seed in 0u64..50) {
+            for groups in [range_partition(n, k), random_partition(n, k, seed)] {
+                let mut all: Vec<NodeId> = groups.iter().flatten().copied().collect();
+                all.sort_unstable();
+                prop_assert_eq!(all, (0..n as NodeId).collect::<Vec<_>>());
+                let nonempty: Vec<usize> = groups.iter().map(Vec::len).filter(|&l| l > 0).collect();
+                if let (Some(&max), Some(&min)) = (nonempty.iter().max(), nonempty.iter().min()) {
+                    prop_assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Fanout neighbor sampling and batch construction.
+//!
+//! GNN mini-batch training samples an `L`-hop neighborhood around a set of
+//! *seed* (output) nodes, with a per-layer *fanout* cap on the number of
+//! neighbors kept per node. The result is a [`Batch`] — the paper's
+//! "sampling subgraph" `G` that Algorithms 1–3 consume.
+//!
+//! Sampling layers are ordered from the output layer inward: `fanouts[0]`
+//! caps the direct neighbors of the seeds (layer `L`), `fanouts[1]` the
+//! neighbors-of-neighbors, and so on. The paper's evaluation uses fanouts
+//! `(10, 25)` (written "cut-off 10,25" in Table III).
+//!
+//! # Examples
+//!
+//! ```
+//! use buffalo_graph::generators;
+//! use buffalo_sampling::BatchSampler;
+//!
+//! let g = generators::barabasi_albert(1_000, 5, 0.3, 7).unwrap();
+//! let sampler = BatchSampler::new(vec![10, 25]);
+//! let batch = sampler.sample(&g, &[0, 1, 2, 3], 42);
+//! assert_eq!(batch.num_seeds, 4);
+//! assert!(batch.num_nodes() >= 4);
+//! // Every seed's sampled in-degree respects the layer-L fanout.
+//! for s in 0..4u32 {
+//!     assert!(batch.graph.degree(s) <= 10);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+use buffalo_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A sampled training batch: the `L`-hop sampled subgraph around a seed set.
+///
+/// Nodes are relabeled to local ids `0..num_nodes()`; the seeds occupy
+/// `0..num_seeds` in their original order, followed by sampled neighbors in
+/// discovery order (layer by layer). The local graph stores only the
+/// *sampled* edges, directed so that row `v` holds the in-neighbors whose
+/// embeddings aggregate into `v`.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Local-id graph over the sampled nodes (in-neighbor rows).
+    pub graph: CsrGraph,
+    /// Maps local id → original graph id.
+    pub global_ids: Vec<NodeId>,
+    /// The first `num_seeds` local ids are the output nodes.
+    pub num_seeds: usize,
+    /// Per-layer fanouts, output layer first.
+    pub fanouts: Vec<usize>,
+    /// For each sampling layer, the local ids first discovered at that
+    /// layer. `layer_frontiers[0]` is the seed set itself.
+    pub layer_frontiers: Vec<Vec<NodeId>>,
+}
+
+impl Batch {
+    /// Number of nodes in the batch (seeds + sampled neighbors).
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of sampled (directed) edges.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Aggregation depth `L` this batch was sampled for.
+    pub fn depth(&self) -> usize {
+        self.fanouts.len()
+    }
+
+    /// Local ids of the output (seed) nodes.
+    pub fn seed_locals(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_seeds as NodeId).into_iter()
+    }
+
+    /// Restricts the batch to a subset of its seeds, re-sampling nothing:
+    /// the result contains the chosen seeds plus every batch node reachable
+    /// from them through sampled in-edges within `depth()` hops. This is the
+    /// primitive micro-batch extraction used by output-layer partitioning.
+    ///
+    /// The relabeling is **order-preserving**: kept seeds are sorted, then
+    /// kept non-seeds are sorted, so the parent→child id mapping is
+    /// monotonic and every adjacency row keeps its neighbor order. This
+    /// makes micro-batch training bitwise-deterministic even for
+    /// order-sensitive aggregators (the LSTM processes each node's
+    /// neighbors as a sequence — permuting it would silently change the
+    /// computation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry of `seed_subset` is not a seed local id.
+    pub fn restrict_to_seeds(&self, seed_subset: &[NodeId]) -> Batch {
+        for &s in seed_subset {
+            assert!(
+                (s as usize) < self.num_seeds,
+                "local id {s} is not a seed (num_seeds={})",
+                self.num_seeds
+            );
+        }
+        // BFS through in-edges, depth-bounded.
+        let mut seen = vec![false; self.num_nodes()];
+        let mut frontier: Vec<NodeId> = seed_subset.to_vec();
+        for &s in seed_subset {
+            seen[s as usize] = true;
+        }
+        let mut tail: Vec<NodeId> = Vec::new();
+        let mut frontiers = vec![seed_subset.to_vec()];
+        for _ in 0..self.depth() {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &u in self.graph.neighbors(v) {
+                    if !seen[u as usize] {
+                        seen[u as usize] = true;
+                        next.push(u);
+                        tail.push(u);
+                    }
+                }
+            }
+            frontiers.push(next.clone());
+            frontier = next;
+        }
+        // Order-preserving relabeling: seeds (all < num_seeds) sorted,
+        // then discovered nodes sorted — a monotonic map from parent ids.
+        let mut keep: Vec<NodeId> = seed_subset.to_vec();
+        keep.sort_unstable();
+        tail.sort_unstable();
+        keep.extend_from_slice(&tail);
+        let (sub, _) = self.graph.induced_subgraph(&keep);
+        let mut remap = vec![NodeId::MAX; self.num_nodes()];
+        for (new, &old) in keep.iter().enumerate() {
+            remap[old as usize] = new as NodeId;
+        }
+        Batch {
+            graph: sub,
+            global_ids: keep.iter().map(|&l| self.global_ids[l as usize]).collect(),
+            num_seeds: seed_subset.len(),
+            fanouts: self.fanouts.clone(),
+            layer_frontiers: frontiers
+                .into_iter()
+                .map(|f| f.into_iter().map(|v| remap[v as usize]).collect())
+                .collect(),
+        }
+    }
+}
+
+/// Samples `L`-hop neighborhoods with per-layer fanout caps.
+#[derive(Debug, Clone)]
+pub struct BatchSampler {
+    fanouts: Vec<usize>,
+}
+
+impl BatchSampler {
+    /// Creates a sampler with the given per-layer fanouts (output layer
+    /// first). The paper's default configuration is `vec![10, 25]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanouts` is empty or contains a zero.
+    pub fn new(fanouts: Vec<usize>) -> Self {
+        assert!(!fanouts.is_empty(), "need at least one layer");
+        assert!(fanouts.iter().all(|&f| f > 0), "fanouts must be positive");
+        BatchSampler { fanouts }
+    }
+
+    /// The configured fanouts.
+    pub fn fanouts(&self) -> &[usize] {
+        &self.fanouts
+    }
+
+    /// Samples a [`Batch`] around `seeds` from `graph`.
+    ///
+    /// Deterministic in `(graph, seeds, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty, contains duplicates, or references nodes
+    /// outside `graph`.
+    pub fn sample(&self, graph: &CsrGraph, seeds: &[NodeId], seed: u64) -> Batch {
+        assert!(!seeds.is_empty(), "seed set must be non-empty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut local_of: HashMap<NodeId, NodeId> = HashMap::with_capacity(seeds.len() * 4);
+        let mut global_ids: Vec<NodeId> = Vec::with_capacity(seeds.len() * 4);
+        for &s in seeds {
+            assert!((s as usize) < graph.num_nodes(), "seed {s} out of range");
+            let prev = local_of.insert(s, global_ids.len() as NodeId);
+            assert!(prev.is_none(), "duplicate seed {s}");
+            global_ids.push(s);
+        }
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new(); // (src=in-neighbor, dst)
+        let mut frontier: Vec<NodeId> = seeds.to_vec(); // original ids
+        let mut layer_frontiers: Vec<Vec<NodeId>> =
+            vec![(0..seeds.len() as NodeId).collect()];
+        for &fanout in &self.fanouts {
+            let mut next_frontier: Vec<NodeId> = Vec::new();
+            let mut next_locals: Vec<NodeId> = Vec::new();
+            for &v in &frontier {
+                let dst_local = local_of[&v];
+                let nb = graph.neighbors(v);
+                for u in sample_distinct(nb, fanout, &mut rng) {
+                    let src_local = *local_of.entry(u).or_insert_with(|| {
+                        let l = global_ids.len() as NodeId;
+                        global_ids.push(u);
+                        next_frontier.push(u);
+                        next_locals.push(l);
+                        l
+                    });
+                    edges.push((src_local, dst_local));
+                }
+            }
+            layer_frontiers.push(next_locals);
+            frontier = next_frontier;
+        }
+        let mut b = GraphBuilder::with_capacity(global_ids.len(), edges.len());
+        b.extend_edges(edges);
+        Batch {
+            graph: b.build_directed(),
+            global_ids,
+            num_seeds: seeds.len(),
+            fanouts: self.fanouts.clone(),
+            layer_frontiers,
+        }
+    }
+}
+
+/// Samples up to `k` distinct elements from `pool` (all of them if
+/// `pool.len() <= k`), preserving no particular order. Uses Floyd's
+/// algorithm over indices to avoid copying large neighbor lists.
+fn sample_distinct(pool: &[NodeId], k: usize, rng: &mut StdRng) -> Vec<NodeId> {
+    let n = pool.len();
+    if n <= k {
+        return pool.to_vec();
+    }
+    let mut picked: Vec<usize> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if picked.contains(&t) {
+            picked.push(j);
+        } else {
+            picked.push(t);
+        }
+    }
+    picked.into_iter().map(|i| pool[i]).collect()
+}
+
+/// Iterates over a shuffled seed set in fixed-size chunks, yielding the
+/// seed slice for each mini-batch of an epoch.
+#[derive(Debug, Clone)]
+pub struct SeedBatches {
+    order: Vec<NodeId>,
+    batch_size: usize,
+}
+
+impl SeedBatches {
+    /// Shuffles `0..num_nodes` with `seed` and chunks into `batch_size`
+    /// groups (the last group may be smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(num_nodes: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let mut order: Vec<NodeId> = (0..num_nodes as NodeId).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Fisher–Yates
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        SeedBatches { order, batch_size }
+    }
+
+    /// Number of batches per epoch.
+    pub fn num_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+
+    /// The seed slice for batch `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_batches()`.
+    pub fn batch(&self, i: usize) -> &[NodeId] {
+        let start = i * self.batch_size;
+        assert!(start < self.order.len(), "batch index out of range");
+        let end = (start + self.batch_size).min(self.order.len());
+        &self.order[start..end]
+    }
+
+    /// Iterator over all batches of the epoch.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        (0..self.num_batches()).map(move |i| self.batch(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffalo_graph::generators;
+    use proptest::prelude::*;
+
+    fn test_graph() -> CsrGraph {
+        generators::barabasi_albert(500, 6, 0.4, 11).unwrap()
+    }
+
+    #[test]
+    fn fanout_caps_seed_degree() {
+        let g = test_graph();
+        let batch = BatchSampler::new(vec![5, 3]).sample(&g, &[0, 1, 2], 1);
+        for s in batch.seed_locals() {
+            assert!(batch.graph.degree(s) <= 5);
+        }
+    }
+
+    #[test]
+    fn seeds_come_first_and_map_back() {
+        let g = test_graph();
+        let seeds = [10u32, 20, 30];
+        let batch = BatchSampler::new(vec![4]).sample(&g, &seeds, 2);
+        assert_eq!(&batch.global_ids[..3], &seeds);
+        assert_eq!(batch.num_seeds, 3);
+    }
+
+    #[test]
+    fn sampled_edges_exist_in_original_graph() {
+        let g = test_graph();
+        let batch = BatchSampler::new(vec![6, 4]).sample(&g, &[1, 2, 3, 4], 3);
+        for v in batch.graph.node_ids() {
+            let gv = batch.global_ids[v as usize];
+            for &u in batch.graph.neighbors(v) {
+                let gu = batch.global_ids[u as usize];
+                assert!(
+                    g.has_edge(gu, gv) || g.has_edge(gv, gu),
+                    "sampled edge ({gu},{gv}) missing in original"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = test_graph();
+        let s = BatchSampler::new(vec![5, 5]);
+        let a = s.sample(&g, &[0, 9, 17], 99);
+        let b = s.sample(&g, &[0, 9, 17], 99);
+        assert_eq!(a.global_ids, b.global_ids);
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn depth_one_only_samples_direct_neighbors() {
+        let g = test_graph();
+        let batch = BatchSampler::new(vec![1000]).sample(&g, &[7], 5);
+        // All non-seed nodes must be real neighbors of node 7.
+        for l in 1..batch.num_nodes() as NodeId {
+            let orig = batch.global_ids[l as usize];
+            assert!(g.has_edge(orig, 7));
+        }
+        assert_eq!(batch.graph.degree(0), g.degree(7));
+    }
+
+    #[test]
+    fn layer_frontiers_partition_nodes() {
+        let g = test_graph();
+        let batch = BatchSampler::new(vec![5, 5]).sample(&g, &[0, 1], 6);
+        let total: usize = batch.layer_frontiers.iter().map(Vec::len).sum();
+        assert_eq!(total, batch.num_nodes());
+        assert_eq!(batch.layer_frontiers[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn restrict_to_seeds_keeps_reachable_closure() {
+        let g = test_graph();
+        let batch = BatchSampler::new(vec![4, 4]).sample(&g, &[0, 1, 2, 3], 7);
+        let micro = batch.restrict_to_seeds(&[0, 2]);
+        assert_eq!(micro.num_seeds, 2);
+        assert_eq!(micro.global_ids[0], batch.global_ids[0]);
+        assert_eq!(micro.global_ids[1], batch.global_ids[2]);
+        assert!(micro.num_nodes() <= batch.num_nodes());
+        // Seed in-degrees are preserved: the restriction keeps every
+        // sampled in-neighbor of a kept seed.
+        assert_eq!(micro.graph.degree(0), batch.graph.degree(0));
+        assert_eq!(micro.graph.degree(1), batch.graph.degree(2));
+    }
+
+    #[test]
+    fn restriction_preserves_neighbor_order() {
+        // Order-sensitive aggregators (LSTM) require that a kept node's
+        // neighbor sequence is identical in the micro-batch.
+        let g = test_graph();
+        let seeds: Vec<NodeId> = (0..30).collect();
+        let batch = BatchSampler::new(vec![6, 4]).sample(&g, &seeds, 13);
+        // Deliberately unsorted subset: the restriction must sort it.
+        let micro = batch.restrict_to_seeds(&[17, 3, 25, 8]);
+        assert_eq!(
+            &micro.global_ids[..4],
+            &[
+                batch.global_ids[3],
+                batch.global_ids[8],
+                batch.global_ids[17],
+                batch.global_ids[25]
+            ]
+        );
+        // Each kept seed's neighbor row maps to the same global sequence.
+        for &(child, parent) in [(0u32, 3u32), (1, 8), (2, 17), (3, 25)].iter() {
+            let child_seq: Vec<NodeId> = micro
+                .graph
+                .neighbors(child)
+                .iter()
+                .map(|&u| micro.global_ids[u as usize])
+                .collect();
+            let parent_seq: Vec<NodeId> = batch
+                .graph
+                .neighbors(parent)
+                .iter()
+                .map(|&u| batch.global_ids[u as usize])
+                .collect();
+            assert_eq!(child_seq, parent_seq, "seed {parent} row reordered");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a seed")]
+    fn restrict_rejects_non_seed() {
+        let g = test_graph();
+        let batch = BatchSampler::new(vec![2]).sample(&g, &[0], 1);
+        let _ = batch.restrict_to_seeds(&[(batch.num_nodes() - 1) as NodeId]);
+    }
+
+    #[test]
+    fn seed_batches_cover_everything_once() {
+        let sb = SeedBatches::new(103, 10, 4);
+        assert_eq!(sb.num_batches(), 11);
+        let mut seen = vec![false; 103];
+        for b in sb.iter() {
+            for &v in b {
+                assert!(!seen[v as usize], "node {v} appears twice");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn seed_batches_shuffle_depends_on_seed() {
+        let a = SeedBatches::new(50, 50, 1);
+        let b = SeedBatches::new(50, 50, 2);
+        assert_ne!(a.batch(0), b.batch(0));
+    }
+
+    proptest! {
+        /// sample_distinct returns distinct in-pool elements, size = min(k, n).
+        #[test]
+        fn sample_distinct_properties(pool_size in 0usize..60, k in 0usize..30, seed in 0u64..500) {
+            let pool: Vec<NodeId> = (0..pool_size as NodeId).collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = sample_distinct(&pool, k, &mut rng);
+            prop_assert_eq!(got.len(), k.min(pool_size));
+            let mut s = got.clone();
+            s.sort_unstable();
+            s.dedup();
+            prop_assert_eq!(s.len(), got.len(), "duplicates in sample");
+            prop_assert!(got.iter().all(|v| pool.contains(v)));
+        }
+
+        /// Batches never contain a node twice and all edges respect fanout caps per layer.
+        #[test]
+        fn batch_node_uniqueness(seed in 0u64..50) {
+            let g = generators::barabasi_albert(200, 4, 0.2, 3).unwrap();
+            let batch = BatchSampler::new(vec![3, 3]).sample(&g, &[0, 5, 9], seed);
+            let mut ids = batch.global_ids.clone();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), batch.global_ids.len());
+        }
+    }
+}

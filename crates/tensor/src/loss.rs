@@ -1,0 +1,135 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Output of [`softmax_cross_entropy`].
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// Gradient with respect to the logits (already divided by batch
+    /// size, or by `grad_divisor` when provided).
+    pub dlogits: Tensor,
+    /// Number of correct argmax predictions.
+    pub correct: usize,
+}
+
+/// Computes mean softmax cross-entropy between `logits` (`n × classes`)
+/// and integer `labels`.
+///
+/// `grad_divisor` controls the normalization of `dlogits`: pass `None` for
+/// ordinary mean-over-batch, or `Some(total)` when this batch is one
+/// micro-batch of a larger logical batch of `total` examples — dividing by
+/// the *logical* batch size is what makes micro-batch gradient
+/// accumulation mathematically identical to whole-batch training
+/// (Algorithm 2, §IV-B).
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of range.
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[u32],
+    grad_divisor: Option<usize>,
+) -> LossOutput {
+    let n = logits.rows();
+    let c = logits.cols();
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let divisor = grad_divisor.unwrap_or(n).max(1) as f32;
+    let mut dlogits = Tensor::zeros(n, c);
+    let mut loss = 0.0f64;
+    let mut correct = 0usize;
+    for r in 0..n {
+        let row = logits.row(r);
+        let label = labels[r] as usize;
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for &x in row {
+            sum += (x - max).exp();
+        }
+        let log_sum = sum.ln() + max;
+        loss += (log_sum - row[label]) as f64;
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        if argmax == label {
+            correct += 1;
+        }
+        let drow = dlogits.row_mut(r);
+        for (j, d) in drow.iter_mut().enumerate() {
+            let p = (row[j] - log_sum).exp();
+            *d = (p - f32::from(j == label)) / divisor;
+        }
+    }
+    LossOutput {
+        loss: (loss / n as f64) as f32,
+        dlogits,
+        correct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(4, 8);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3], None);
+        assert!((out.loss - (8.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Tensor::zeros(1, 3);
+        logits.set(0, 2, 10.0);
+        let out = softmax_cross_entropy(&logits, &[2], None);
+        assert!(out.loss < 1e-3);
+        assert_eq!(out.correct, 1);
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let logits = Tensor::xavier(3, 4, 5);
+        let labels = [1u32, 3, 0];
+        let out = softmax_cross_entropy(&logits, &labels, None);
+        let eps = 1e-3f32;
+        for (r, c) in [(0, 1), (1, 2), (2, 0)] {
+            let mut up = logits.clone();
+            up.set(r, c, logits.get(r, c) + eps);
+            let mut down = logits.clone();
+            down.set(r, c, logits.get(r, c) - eps);
+            let lu = softmax_cross_entropy(&up, &labels, None).loss;
+            let ld = softmax_cross_entropy(&down, &labels, None).loss;
+            // loss is mean over n: numeric d(mean)/dx; dlogits divided by n too.
+            let num = (lu - ld) / (2.0 * eps);
+            assert!(
+                (num - out.dlogits.get(r, c)).abs() < 1e-2,
+                "grad mismatch at ({r},{c}): {num} vs {}",
+                out.dlogits.get(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn micro_batch_divisor_scales_gradient() {
+        let logits = Tensor::xavier(2, 3, 6);
+        let labels = [0u32, 1];
+        let whole = softmax_cross_entropy(&logits, &labels, None);
+        let micro = softmax_cross_entropy(&logits, &labels, Some(8));
+        for (w, m) in whole.dlogits.data().iter().zip(micro.dlogits.data()) {
+            assert!((w * 2.0 / 8.0 - m).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        let logits = Tensor::zeros(1, 2);
+        let _ = softmax_cross_entropy(&logits, &[5], None);
+    }
+}

@@ -1,0 +1,504 @@
+//! 2-D row-major f32 tensor.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A dense 2-D `f32` matrix, row-major.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros `rows × cols` tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Tensor from raw row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Deterministic Xavier/Glorot-uniform initialization.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The `r`-th row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable `r`-th row.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Fills with zeros.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Matrix product `self × rhs` (`m×k · k×n = m×n`), cache-friendly
+    /// ikj ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let o_row = out.row_mut(i);
+            for (p, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(p);
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × rhs` (`k×m ᵀ · k×n = m×n`) without materializing the
+    /// transpose — the weight-gradient layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn row mismatch");
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Tensor::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = rhs.row(p);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = out.row_mut(i);
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        let _ = m;
+        out
+    }
+
+    /// `self × rhsᵀ` (`m×k · n×k ᵀ = m×n`) — the input-gradient layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt column mismatch");
+        let (m, n) = (self.rows, rhs.rows);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let o_row = out.row_mut(i);
+            for (j, o) in o_row.iter_mut().enumerate().take(n) {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Element-wise `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_assign shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise `self += scale * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_scaled shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|x| *x *= s);
+    }
+
+    /// Adds a 1×cols bias row to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × cols`.
+    pub fn add_bias(&mut self, bias: &Tensor) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, &b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
+    }
+
+    /// In-place ReLU; returns the activation mask for backward.
+    pub fn relu_inplace(&mut self) -> Vec<bool> {
+        self.data
+            .iter_mut()
+            .map(|x| {
+                if *x > 0.0 {
+                    true
+                } else {
+                    *x = 0.0;
+                    false
+                }
+            })
+            .collect()
+    }
+
+    /// Masks a gradient by a ReLU activation mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if mask length differs from element count.
+    pub fn relu_backward(&mut self, mask: &[bool]) {
+        assert_eq!(mask.len(), self.data.len(), "mask length mismatch");
+        for (x, &m) in self.data.iter_mut().zip(mask) {
+            if !m {
+                *x = 0.0;
+            }
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Column-wise sum producing a `1 × cols` tensor (bias gradients).
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &x) in out.data.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Gathers rows by index into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "row index out of range");
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Scatter-adds rows of `src` into `self` at `indices` (inverse of
+    /// [`gather_rows`](Self::gather_rows), for gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics on index/shape mismatch.
+    pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Tensor) {
+        assert_eq!(indices.len(), src.rows, "index count mismatch");
+        assert_eq!(self.cols, src.cols, "column mismatch");
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "row index out of range");
+            let dst = &mut self.data[idx * self.cols..(idx + 1) * self.cols];
+            for (d, &s) in dst.iter_mut().zip(src.row(i)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Bytes this tensor occupies (`rows × cols × 4`).
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * 4) as u64
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = t(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 3x2
+        let b = t(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]); // 3x2
+        let c = a.matmul_tn(&b); // (2x3)·(3x2)
+        // a^T = [[1,3,5],[2,4,6]]
+        assert_eq!(c.data(), &[6.0, 8.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 2x3
+        let b = t(2, 3, &[1.0, 1.0, 0.0, 0.0, 1.0, 1.0]); // 2x3
+        let c = a.matmul_nt(&b); // (2x3)·(3x2)
+        assert_eq!(c.data(), &[3.0, 5.0, 9.0, 11.0]);
+    }
+
+    #[test]
+    fn gemm_layouts_are_consistent() {
+        // (A B)ᵀ = Bᵀ Aᵀ cross-check using random matrices.
+        let a = Tensor::xavier(4, 5, 1);
+        let b = Tensor::xavier(5, 3, 2);
+        let ab = a.matmul(&b);
+        // ab via matmul_tn: need Aᵀ stored, so compute (Aᵀ)ᵀ·B ≡ matmul_tn on transposed a.
+        let mut at = Tensor::zeros(5, 4);
+        for i in 0..4 {
+            for j in 0..5 {
+                at.set(j, i, a.get(i, j));
+            }
+        }
+        let ab2 = at.matmul_tn(&b);
+        for (x, y) in ab.data().iter().zip(ab2.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn relu_roundtrip() {
+        let mut x = t(1, 4, &[-1.0, 2.0, -3.0, 4.0]);
+        let mask = x.relu_inplace();
+        assert_eq!(x.data(), &[0.0, 2.0, 0.0, 4.0]);
+        assert_eq!(mask, vec![false, true, false, true]);
+        let mut g = t(1, 4, &[1.0, 1.0, 1.0, 1.0]);
+        g.relu_backward(&mask);
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn bias_broadcasts_over_rows() {
+        let mut x = Tensor::zeros(3, 2);
+        x.add_bias(&t(1, 2, &[1.0, -1.0]));
+        assert_eq!(x.row(2), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn gather_scatter_are_adjoint() {
+        let base = t(4, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let g = base.gather_rows(&[3, 1, 3]);
+        assert_eq!(g.row(0), &[7.0, 8.0]);
+        assert_eq!(g.row(2), &[7.0, 8.0]);
+        let mut acc = Tensor::zeros(4, 2);
+        acc.scatter_add_rows(&[3, 1, 3], &g);
+        assert_eq!(acc.row(3), &[14.0, 16.0]); // row 3 hit twice
+        assert_eq!(acc.row(1), &[3.0, 4.0]);
+        assert_eq!(acc.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sum_rows_column_totals() {
+        let x = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(x.sum_rows().data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn xavier_is_deterministic_and_bounded() {
+        let a = Tensor::xavier(10, 10, 3);
+        let b = Tensor::xavier(10, 10, 3);
+        assert_eq!(a, b);
+        let bound = (6.0 / 20.0f32).sqrt();
+        assert!(a.data().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn matmul_shape_checked() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::zeros(1, 2);
+        let b = t(1, 2, &[2.0, 4.0]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[1.0, 2.0]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Scalar reference GEMM for cross-checking the cache-tiled kernels.
+        fn reference_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+            let mut out = Tensor::zeros(a.rows(), b.cols());
+            for i in 0..a.rows() {
+                for j in 0..b.cols() {
+                    let mut acc = 0.0f32;
+                    for p in 0..a.cols() {
+                        acc += a.get(i, p) * b.get(p, j);
+                    }
+                    out.set(i, j, acc);
+                }
+            }
+            out
+        }
+
+        fn close(a: &Tensor, b: &Tensor) -> bool {
+            a.rows() == b.rows()
+                && a.cols() == b.cols()
+                && a.data()
+                    .iter()
+                    .zip(b.data())
+                    .all(|(x, y)| (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())))
+        }
+
+        proptest! {
+            #[test]
+            fn matmul_matches_reference(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..100) {
+                let a = Tensor::xavier(m, k, seed);
+                let b = Tensor::xavier(k, n, seed + 1);
+                prop_assert!(close(&a.matmul(&b), &reference_matmul(&a, &b)));
+            }
+
+            /// matmul_tn(A, B) == Aᵀ · B and matmul_nt(A, B) == A · Bᵀ.
+            #[test]
+            fn transposed_layouts_match_reference(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..100) {
+                let a = Tensor::xavier(k, m, seed); // for tn: (k x m)ᵀ -> m x k
+                let b = Tensor::xavier(k, n, seed + 1);
+                let mut at = Tensor::zeros(m, k);
+                for i in 0..k {
+                    for j in 0..m {
+                        at.set(j, i, a.get(i, j));
+                    }
+                }
+                prop_assert!(close(&a.matmul_tn(&b), &reference_matmul(&at, &b)));
+                let c = Tensor::xavier(m, k, seed + 2);
+                let d = Tensor::xavier(n, k, seed + 3);
+                let mut dt = Tensor::zeros(k, n);
+                for i in 0..n {
+                    for j in 0..k {
+                        dt.set(j, i, d.get(i, j));
+                    }
+                }
+                prop_assert!(close(&c.matmul_nt(&d), &reference_matmul(&c, &dt)));
+            }
+
+            /// gather followed by scatter_add is the identity on the
+            /// gathered rows' sums (adjointness).
+            #[test]
+            fn gather_scatter_adjoint(rows in 1usize..8, cols in 1usize..6, seed in 0u64..100) {
+                let x = Tensor::xavier(rows, cols, seed);
+                let idx: Vec<usize> = (0..rows).collect();
+                let g = x.gather_rows(&idx);
+                let mut acc = Tensor::zeros(rows, cols);
+                acc.scatter_add_rows(&idx, &g);
+                prop_assert!(close(&acc, &x));
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! A tour of Buffalo's scheduling pipeline on one batch: degree
+//! bucketing, explosion detection, splitting, memory-balanced grouping,
+//! and the redundancy-aware estimates behind each decision (paper §IV).
+//!
+//! Run with: `cargo run --release --example scheduler_tour`
+
+use buffalo::bucketing::{
+    closure_counts, degree_bucketing, detect_explosion, BuffaloScheduler, ClosureScratch,
+};
+use buffalo::graph::datasets::{self, DatasetName};
+use buffalo::graph::stats;
+use buffalo::memsim::estimate::mem_from_counts;
+use buffalo::memsim::{AggregatorKind, GnnShape};
+use buffalo::sampling::{BatchSampler, SeedBatches};
+
+fn main() {
+    let ds = datasets::load(DatasetName::OgbnArxiv, 42);
+    let clustering = stats::clustering_coefficient_sampled(&ds.graph, 10_000, 50, 1);
+    let seeds = SeedBatches::new(ds.graph.num_nodes(), 8_192, 1);
+    let batch = BatchSampler::new(vec![10, 25]).sample(&ds.graph, seeds.batch(0), 2);
+    let shape = GnnShape::new(ds.spec.feat_dim, 256, 2, ds.spec.num_classes, AggregatorKind::Lstm);
+
+    // Step 1: degree bucketing at the output layer (cut-off F = 10).
+    let buckets = degree_bucketing(&batch.graph, batch.num_seeds, 10);
+    println!("step 1 — degree buckets (F=10):");
+    let mut scratch = ClosureScratch::default();
+    for b in &buckets {
+        let counts = closure_counts(&batch.graph, &b.nodes, 2, &mut scratch);
+        println!(
+            "  degree {:>2}: {:>5} outputs, {:>6} inputs, est {:>7.1} MB",
+            b.degree,
+            b.volume(),
+            counts.output_layer_inputs(),
+            mem_from_counts(&counts, &shape) as f64 / 1e6
+        );
+    }
+
+    // Step 2: explosion detection.
+    match detect_explosion(&buckets, 2.0) {
+        Some(i) => println!(
+            "\nstep 2 — bucket explosion at degree {} ({} outputs)",
+            buckets[i].degree,
+            buckets[i].volume()
+        ),
+        None => println!("\nstep 2 — no explosion (balanced buckets)"),
+    }
+
+    // Step 3: schedule under increasingly tight budgets.
+    let whole = closure_counts(
+        &batch.graph,
+        &(0..batch.num_seeds as u32).collect::<Vec<_>>(),
+        2,
+        &mut scratch,
+    );
+    let whole_mem = mem_from_counts(&whole, &shape);
+    println!("\nstep 3 — whole batch needs {:.1} MB; scheduling:", whole_mem as f64 / 1e6);
+    let scheduler = BuffaloScheduler::new(shape, vec![10, 25], clustering);
+    for divisor in [1u64, 2, 4, 8] {
+        let budget = whole_mem / divisor + 1;
+        match scheduler.schedule(&batch.graph, batch.num_seeds, budget) {
+            Ok(plan) => println!(
+                "  budget {:>7.1} MB -> K={:>2}, split explosion: {}, imbalance {:.1}%, {:?}ms",
+                budget as f64 / 1e6,
+                plan.k,
+                plan.split_explosion,
+                100.0 * plan.imbalance(),
+                plan.scheduling_time.as_millis()
+            ),
+            Err(e) => println!("  budget {:>7.1} MB -> {e}", budget as f64 / 1e6),
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! `buffalo` — command-line interface to the Buffalo GNN training system.
+//!
+//! ```text
+//! buffalo stats <dataset|path>             graph summary (a Table II row)
+//! buffalo generate <dataset> -o <file>     save a synthetic dataset graph
+//! buffalo schedule <dataset> [options]     run the Buffalo scheduler
+//! buffalo train <dataset> [options]        train for real under a budget
+//! buffalo compare <dataset> [options]      one iteration of every strategy
+//! ```
+//!
+//! Datasets are the Table II stand-ins (`cora`, `pubmed`, `reddit`,
+//! `ogbn-arxiv`, `ogbn-products`, `ogbn-papers`); anywhere a dataset is
+//! accepted, a path to an edge-list or binary CSR file works too.
+
+use buffalo::bucketing::BuffaloScheduler;
+use buffalo::core::sim::{simulate_iteration, SimContext, Strategy};
+use buffalo::core::train::{run_epochs, BuffaloTrainer, EpochConfig};
+use buffalo::graph::datasets::{self, DatasetName};
+use buffalo::graph::{io, stats, CsrGraph, NodeId};
+use buffalo::memsim::{AggregatorKind, CostModel, DeviceMemory, GnnShape};
+use buffalo::sampling::{BatchSampler, SeedBatches};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  buffalo stats    <dataset|path>
+  buffalo generate <dataset> -o <file>
+  buffalo schedule <dataset> [--budget 24G] [--seeds N] [--hidden H]
+                   [--agg mean|pool|lstm|attention] [--fanouts 10,25]
+  buffalo train    <dataset> [--budget 24G] [--epochs N] [--batch-size N]
+                   [--hidden H] [--agg ...] [--fanouts 5,10] [--eval N]
+  buffalo compare  <dataset> [--budget 24G] [--seeds N] [--hidden H] [--k K]";
+
+/// Parsed `--key value` options with positional arguments.
+struct Options {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{key} requires a value"))?;
+                flags.insert(key.to_string(), value.clone());
+            } else if let Some(key) = a.strip_prefix('-') {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("-{key} requires a value"))?;
+                flags.insert(key.to_string(), value.clone());
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Options { positional, flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} `{v}`")),
+        }
+    }
+}
+
+/// Parses sizes like `24G`, `512M`, `1073741824`.
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (num, mult) = match s.chars().last() {
+        Some('G') | Some('g') => (&s[..s.len() - 1], 1u64 << 30),
+        Some('M') | Some('m') => (&s[..s.len() - 1], 1u64 << 20),
+        Some('K') | Some('k') => (&s[..s.len() - 1], 1u64 << 10),
+        _ => (s, 1),
+    };
+    let v: f64 = num.parse().map_err(|_| format!("bad size `{s}`"))?;
+    Ok((v * mult as f64) as u64)
+}
+
+fn parse_fanouts(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("bad fanouts `{s}`")))
+        .collect()
+}
+
+fn parse_agg(s: &str) -> Result<AggregatorKind, String> {
+    match s {
+        "mean" => Ok(AggregatorKind::Mean),
+        "pool" => Ok(AggregatorKind::MaxPool),
+        "lstm" => Ok(AggregatorKind::Lstm),
+        "attention" | "gat" => Ok(AggregatorKind::Attention),
+        other => Err(format!("unknown aggregator `{other}`")),
+    }
+}
+
+/// Loads a graph from a dataset name or a file path. Returns the graph,
+/// an optional full dataset (features/labels), and a display name.
+fn load_graph(spec: &str) -> Result<(CsrGraph, Option<datasets::Dataset>, String), String> {
+    if let Ok(name) = DatasetName::parse(spec) {
+        let ds = datasets::load(name, 42);
+        return Ok((ds.graph.clone(), Some(ds), name.to_string()));
+    }
+    if std::path::Path::new(spec).exists() {
+        let g = io::load(spec).map_err(|e| e.to_string())?;
+        return Ok((g, None, spec.to_string()));
+    }
+    Err(format!(
+        "`{spec}` is neither a dataset name ({}) nor a file",
+        DatasetName::ALL
+            .iter()
+            .map(|d| d.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let opts = Options::parse(rest)?;
+    let target = opts
+        .positional
+        .first()
+        .ok_or_else(|| "missing dataset/path argument".to_string())?;
+    match cmd.as_str() {
+        "stats" => cmd_stats(target),
+        "generate" => cmd_generate(target, &opts),
+        "schedule" => cmd_schedule(target, &opts),
+        "train" => cmd_train(target, &opts),
+        "compare" => cmd_compare(target, &opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_stats(target: &str) -> Result<(), String> {
+    let (g, ds, name) = load_graph(target)?;
+    let s = stats::summarize(&g, 42);
+    println!("graph:          {name}");
+    println!("nodes:          {}", s.num_nodes);
+    println!("edges:          {}", s.num_edges / 2);
+    println!("avg degree:     {:.2}", s.avg_degree);
+    println!("max degree:     {}", s.max_degree);
+    println!("avg clustering: {:.4}", s.avg_clustering);
+    println!("power law:      {}", if s.power_law { "yes" } else { "no" });
+    if let Some(fit) = stats::fit_power_law(&g, 5) {
+        println!("alpha (d>=5):   {:.2}", fit.alpha);
+    }
+    if let Some(ds) = ds {
+        println!("feature dim:    {}", ds.spec.feat_dim);
+        println!("classes:        {}", ds.spec.num_classes);
+        println!("scale:          1/{}", ds.spec.scale_factor);
+    }
+    Ok(())
+}
+
+fn cmd_generate(target: &str, opts: &Options) -> Result<(), String> {
+    let out = opts
+        .flags
+        .get("o")
+        .or_else(|| opts.flags.get("output"))
+        .ok_or("generate requires -o <file>")?;
+    let (g, _, name) = load_graph(target)?;
+    io::save(&g, out).map_err(|e| e.to_string())?;
+    println!("wrote {name} ({} nodes, {} edges) to {out}", g.num_nodes(), g.num_edges());
+    Ok(())
+}
+
+/// Builds the common experiment pieces from CLI options.
+struct Setup {
+    ds: datasets::Dataset,
+    batch: buffalo::sampling::Batch,
+    shape: GnnShape,
+    fanouts: Vec<usize>,
+    clustering: f64,
+    budget: u64,
+}
+
+fn setup(target: &str, opts: &Options, default_fanouts: &str) -> Result<Setup, String> {
+    let (_, ds, _) = load_graph(target)?;
+    let ds = ds.ok_or("this command needs a dataset (features/labels), not a raw graph file")?;
+    let fanouts = parse_fanouts(&opts.get::<String>("fanouts", default_fanouts.into())?)?;
+    let hidden: usize = opts.get("hidden", 256)?;
+    let agg = parse_agg(&opts.get::<String>("agg", "lstm".into())?)?;
+    let num_seeds: usize = opts.get("seeds", (ds.graph.num_nodes() / 5).max(256))?;
+    let budget = parse_bytes(&opts.get::<String>("budget", "24G".into())?)?;
+    let seeds: Vec<NodeId> = SeedBatches::new(ds.graph.num_nodes(), num_seeds, 7)
+        .batch(0)
+        .to_vec();
+    let batch = BatchSampler::new(fanouts.clone()).sample(&ds.graph, &seeds, 11);
+    let clustering = stats::clustering_coefficient_sampled(&ds.graph, 10_000, 50, 1);
+    let shape = GnnShape::new(
+        ds.spec.feat_dim,
+        hidden,
+        fanouts.len(),
+        ds.spec.num_classes,
+        agg,
+    );
+    Ok(Setup {
+        ds,
+        batch,
+        shape,
+        fanouts,
+        clustering,
+        budget,
+    })
+}
+
+fn cmd_schedule(target: &str, opts: &Options) -> Result<(), String> {
+    let s = setup(target, opts, "10,25")?;
+    println!(
+        "batch: {} seeds -> {} nodes, {} edges",
+        s.batch.num_seeds,
+        s.batch.num_nodes(),
+        s.batch.num_edges()
+    );
+    let scheduler = BuffaloScheduler::new(s.shape.clone(), s.fanouts.clone(), s.clustering);
+    let plan = scheduler
+        .schedule(&s.batch.graph, s.batch.num_seeds, s.budget)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "plan: K={} groups, split explosion: {}, scheduled in {:?}",
+        plan.k, plan.split_explosion, plan.scheduling_time
+    );
+    for (i, (group, est)) in plan.groups.iter().zip(&plan.group_estimates).enumerate() {
+        println!(
+            "  group {i:>3}: {:>7} outputs, est {:>8.1} MB",
+            group.len(),
+            *est as f64 / 1e6
+        );
+    }
+    println!("imbalance: {:.1}%", 100.0 * plan.imbalance());
+    Ok(())
+}
+
+fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
+    let mut o = Options {
+        positional: opts.positional.clone(),
+        flags: opts.flags.clone(),
+    };
+    // Training runs real dense math on the CPU: default to a light shape.
+    o.flags.entry("hidden".into()).or_insert_with(|| "32".into());
+    o.flags.entry("agg".into()).or_insert_with(|| "mean".into());
+    let s = setup(target, &o, "5,10")?;
+    let epochs: usize = o.get("epochs", 3)?;
+    let batch_size: usize = o.get("batch-size", 256)?;
+    let eval_nodes: usize = o.get("eval", 512)?;
+    let train_nodes: usize = o.get(
+        "train-nodes",
+        (s.ds.graph.num_nodes() / 4).min(2_048).max(batch_size),
+    )?;
+    let config = buffalo::core::train::TrainConfig {
+        shape: s.shape.clone(),
+        fanouts: s.fanouts.clone(),
+        lr: o.get("lr", 0.01)?,
+        seed: 17,
+    };
+    let device = DeviceMemory::new(s.budget);
+    let cost = CostModel::rtx6000();
+    let mut trainer = BuffaloTrainer::new(config, s.clustering);
+    let cfg = EpochConfig {
+        batch_size,
+        epochs,
+        train_nodes,
+        eval_nodes: eval_nodes.min(s.ds.graph.num_nodes().saturating_sub(train_nodes)),
+        seed: 5,
+    };
+    let stats = run_epochs(&mut trainer, &s.ds, &device, &cost, &cfg)
+        .map_err(|e| e.to_string())?;
+    println!("{:>6} {:>10} {:>10} {:>8} {:>6}", "epoch", "loss", "train acc", "val acc", "iters");
+    for e in stats {
+        println!(
+            "{:>6} {:>10.4} {:>10.3} {:>8} {:>6}",
+            e.epoch,
+            e.mean_loss,
+            e.train_accuracy,
+            e.val_accuracy
+                .map_or_else(|| "-".to_string(), |a| format!("{a:.3}")),
+            e.iterations
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(target: &str, opts: &Options) -> Result<(), String> {
+    let s = setup(target, opts, "10,25")?;
+    let k: usize = opts.get("k", 8)?;
+    let cost = CostModel::rtx6000();
+    let device = DeviceMemory::new(s.budget);
+    let unlimited = DeviceMemory::new(u64::MAX);
+    let ctx = SimContext {
+        shape: &s.shape,
+        fanouts: &s.fanouts,
+        clustering: s.clustering,
+        original: &s.ds.graph,
+    };
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>12}",
+        "system", "K", "time", "peak mem", "status"
+    );
+    for strategy in [
+        Strategy::Full,
+        Strategy::Buffalo,
+        Strategy::Betty { k },
+        Strategy::Metis { k },
+        Strategy::Random { k, seed: 3 },
+        Strategy::Range { k },
+    ] {
+        let dev = if matches!(strategy, Strategy::Full | Strategy::Buffalo) {
+            &device
+        } else {
+            &unlimited
+        };
+        match simulate_iteration(&s.batch, ctx, strategy, dev, &cost) {
+            Ok(rep) => println!(
+                "{:>8} {:>6} {:>11.2}s {:>9.2}GB {:>12}",
+                strategy.name(),
+                rep.num_micro_batches,
+                rep.phases.total(),
+                rep.peak_mem_bytes as f64 / 1e9,
+                "ok"
+            ),
+            Err(e) => println!(
+                "{:>8} {:>6} {:>12} {:>12} {:>12}",
+                strategy.name(),
+                "-",
+                "-",
+                "-",
+                truncate(&e.to_string(), 40)
+            ),
+        }
+    }
+    Ok(())
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sizes() {
+        assert_eq!(parse_bytes("24G").unwrap(), 24 << 30);
+        assert_eq!(parse_bytes("512M").unwrap(), 512 << 20);
+        assert_eq!(parse_bytes("1k").unwrap(), 1 << 10);
+        assert_eq!(parse_bytes("100").unwrap(), 100);
+        assert_eq!(parse_bytes("1.5G").unwrap(), (1.5 * (1u64 << 30) as f64) as u64);
+        assert!(parse_bytes("abc").is_err());
+    }
+
+    #[test]
+    fn parses_fanouts_and_aggregators() {
+        assert_eq!(parse_fanouts("10,25").unwrap(), vec![10, 25]);
+        assert_eq!(parse_fanouts("5, 10, 15").unwrap(), vec![5, 10, 15]);
+        assert!(parse_fanouts("a,b").is_err());
+        assert_eq!(parse_agg("lstm").unwrap(), AggregatorKind::Lstm);
+        assert_eq!(parse_agg("gat").unwrap(), AggregatorKind::Attention);
+        assert!(parse_agg("median").is_err());
+    }
+
+    #[test]
+    fn options_split_flags_and_positionals() {
+        let args: Vec<String> = ["cora", "--budget", "4G", "-o", "x.bin"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Options::parse(&args).unwrap();
+        assert_eq!(o.positional, vec!["cora"]);
+        assert_eq!(o.flags.get("budget").unwrap(), "4G");
+        assert_eq!(o.flags.get("o").unwrap(), "x.bin");
+        assert!(Options::parse(&["--budget".to_string()]).is_err());
+    }
+
+    #[test]
+    fn load_graph_rejects_nonsense() {
+        assert!(load_graph("not-a-dataset-or-file").is_err());
+    }
+
+    #[test]
+    fn stats_runs_on_cora() {
+        cmd_stats("cora").unwrap();
+    }
+}

@@ -1,0 +1,143 @@
+//! Cross-crate property tests: invariants of the full
+//! sample → bucket → schedule → extract → generate pipeline under random
+//! graphs, seed sets, and budgets.
+
+use buffalo::blocks::{
+    generate_blocks_checked, generate_blocks_fast, GenerateOptions,
+};
+use buffalo::bucketing::{closure_counts, BuffaloScheduler, ClosureScratch};
+use buffalo::graph::{generators, NodeId};
+use buffalo::memsim::estimate::mem_from_counts;
+use buffalo::memsim::{measure, AggregatorKind, GnnShape};
+use buffalo::sampling::BatchSampler;
+use proptest::prelude::*;
+
+fn shape() -> GnnShape {
+    GnnShape::new(32, 32, 2, 8, AggregatorKind::Lstm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any random power-law graph, any seed set, and any feasible
+    /// budget, a returned plan (a) partitions the seeds, (b) every group's
+    /// measured micro-batch memory fits the budget, (c) the plan is
+    /// deterministic.
+    #[test]
+    fn schedule_plan_invariants(
+        n in 300usize..1_500,
+        num_seeds in 30usize..200,
+        divisor in 1u64..6,
+        graph_seed in 0u64..50,
+    ) {
+        let g = generators::barabasi_albert(n, 4, 0.3, graph_seed).unwrap();
+        let seeds: Vec<NodeId> = (0..num_seeds.min(n) as NodeId).collect();
+        let batch = BatchSampler::new(vec![6, 8]).sample(&g, &seeds, 3);
+        let shape = shape();
+        let mut scratch = ClosureScratch::default();
+        let whole = mem_from_counts(
+            &closure_counts(&batch.graph, &seeds, 2, &mut scratch),
+            &shape,
+        );
+        let budget = whole / divisor + 1;
+        let scheduler = BuffaloScheduler::new(shape.clone(), vec![6, 8], 0.3);
+        let Ok(plan) = scheduler.schedule(&batch.graph, batch.num_seeds, budget) else {
+            // Tight budgets on saturated graphs may be genuinely
+            // infeasible; that is a valid outcome.
+            return Ok(());
+        };
+        // (a) partition
+        let mut all: Vec<NodeId> = plan.groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, seeds.clone());
+        // (b) measured fit
+        for group in plan.groups.iter().filter(|g| !g.is_empty()) {
+            let micro = batch.restrict_to_seeds(group);
+            let blocks =
+                generate_blocks_fast(&micro.graph, micro.num_seeds, 2, GenerateOptions::default());
+            let actual = measure::training_memory(&blocks, &shape).total();
+            prop_assert!(
+                actual <= budget,
+                "group measured {actual} over budget {budget}"
+            );
+        }
+        // (c) determinism
+        let again = scheduler.schedule(&batch.graph, batch.num_seeds, budget).unwrap();
+        prop_assert_eq!(plan.groups, again.groups);
+    }
+
+    /// Micro-batch extraction preserves every kept seed's sampled
+    /// in-neighborhood: the micro block's output-layer in-degrees equal
+    /// the batch's.
+    #[test]
+    fn restriction_preserves_seed_neighborhoods(
+        graph_seed in 0u64..50,
+        take in 1usize..40,
+    ) {
+        let g = generators::barabasi_albert(400, 5, 0.4, graph_seed).unwrap();
+        let seeds: Vec<NodeId> = (0..60).collect();
+        let batch = BatchSampler::new(vec![5, 5]).sample(&g, &seeds, 9);
+        let subset: Vec<NodeId> = (0..take.min(60) as NodeId).collect();
+        let micro = batch.restrict_to_seeds(&subset);
+        let blocks =
+            generate_blocks_fast(&micro.graph, micro.num_seeds, 2, GenerateOptions::default());
+        let out = blocks.last().unwrap();
+        for (i, &s) in subset.iter().enumerate() {
+            prop_assert_eq!(
+                out.in_degree(i),
+                batch.graph.degree(s),
+                "seed {} lost sampled in-edges",
+                s
+            );
+        }
+    }
+
+    /// Fast and checked block generation agree on edge sets for arbitrary
+    /// sampled batches.
+    #[test]
+    fn fast_and_checked_generation_agree(graph_seed in 0u64..50, fanout in 2usize..8) {
+        let g = generators::barabasi_albert(300, 4, 0.2, graph_seed).unwrap();
+        let seeds: Vec<NodeId> = (0..40).collect();
+        let batch = BatchSampler::new(vec![fanout, fanout]).sample(&g, &seeds, 1);
+        let fast =
+            generate_blocks_fast(&batch.graph, batch.num_seeds, 2, GenerateOptions::default());
+        let checked =
+            generate_blocks_checked(&batch.graph, &batch.global_ids, &g, batch.num_seeds, 2);
+        prop_assert_eq!(fast.len(), checked.len());
+        for (f, c) in fast.iter().zip(&checked) {
+            prop_assert_eq!(f.num_dst(), c.num_dst());
+            prop_assert_eq!(f.num_edges(), c.num_edges());
+            let edges = |b: &buffalo::blocks::Block| {
+                let mut es: Vec<(NodeId, NodeId)> = (0..b.num_dst())
+                    .flat_map(|i| {
+                        let d = b.dst_nodes()[i];
+                        b.srcs_of(i).map(move |s| (d, s)).collect::<Vec<_>>()
+                    })
+                    .collect();
+                es.sort_unstable();
+                es
+            };
+            prop_assert_eq!(edges(f), edges(c));
+        }
+    }
+
+    /// Closure counts are monotone under seed-set inclusion, and the
+    /// memory estimate follows.
+    #[test]
+    fn closure_counts_monotone(graph_seed in 0u64..50, small in 1usize..30) {
+        let g = generators::barabasi_albert(500, 4, 0.3, graph_seed).unwrap();
+        let seeds: Vec<NodeId> = (0..60).collect();
+        let batch = BatchSampler::new(vec![5, 5]).sample(&g, &seeds, 2);
+        let mut scratch = ClosureScratch::default();
+        let sub: Vec<NodeId> = (0..small.min(60) as NodeId).collect();
+        let c_small = closure_counts(&batch.graph, &sub, 2, &mut scratch);
+        let c_all = closure_counts(&batch.graph, &seeds, 2, &mut scratch);
+        for (s, a) in c_small.layers.iter().zip(&c_all.layers) {
+            prop_assert!(s.num_dst <= a.num_dst);
+            prop_assert!(s.num_src <= a.num_src);
+            prop_assert!(s.num_edges <= a.num_edges);
+        }
+        let shape = shape();
+        prop_assert!(mem_from_counts(&c_small, &shape) <= mem_from_counts(&c_all, &shape));
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo CI: formatting, lints, the full test suite, and a smoke run of the
+# staged micro-batch pipeline in both modes.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q --workspace
+
+# The pipeline toggle must train end-to-end both ways.
+cargo run -q --release --bin buffalo -- train cora --epochs 1 --budget 12M --pipeline off
+cargo run -q --release --bin buffalo -- train cora --epochs 1 --budget 12M --pipeline on
+
+echo "ci: all checks passed"

@@ -32,13 +32,7 @@ fn bench_blocks(c: &mut Criterion) {
             &batch,
             |b, batch| {
                 b.iter(|| {
-                    generate_blocks_checked(
-                        &batch.graph,
-                        &batch.global_ids,
-                        &g,
-                        batch.num_seeds,
-                        2,
-                    )
+                    generate_blocks_checked(&batch.graph, &batch.global_ids, &g, batch.num_seeds, 2)
                 })
             },
         );

@@ -95,13 +95,10 @@ pub fn load_workload_with(
     // Seeds are a uniform random sample of the nodes — picking the lowest
     // ids would select the oldest (hub) nodes of the preferential
     // generators and skew every degree distribution.
-    let seeds: Vec<NodeId> = buffalo_sampling::SeedBatches::new(
-        dataset.graph.num_nodes(),
-        num_seeds,
-        seed ^ 0x5EED,
-    )
-    .batch(0)
-    .to_vec();
+    let seeds: Vec<NodeId> =
+        buffalo_sampling::SeedBatches::new(dataset.graph.num_nodes(), num_seeds, seed ^ 0x5EED)
+            .batch(0)
+            .to_vec();
     let batch = BatchSampler::new(fanouts.clone()).sample(&dataset.graph, &seeds, seed ^ 0xABCD);
     Workload {
         name,
@@ -131,7 +128,10 @@ mod tests {
     #[test]
     fn workload_loads_cora() {
         let w = load_workload(DatasetName::Cora, true);
-        assert_eq!(w.batch.num_seeds, default_seed_count(DatasetName::Cora, true));
+        assert_eq!(
+            w.batch.num_seeds,
+            default_seed_count(DatasetName::Cora, true)
+        );
         assert!(w.clustering > 0.05);
         let s = w.default_shape();
         assert_eq!(s.feat_dim, 1433);

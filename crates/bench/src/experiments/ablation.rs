@@ -35,7 +35,12 @@ fn build_entries(
     buckets
         .into_iter()
         .map(|bucket| {
-            let counts = closure_counts(&w.batch.graph, &bucket.nodes, shape.num_layers, &mut scratch);
+            let counts = closure_counts(
+                &w.batch.graph,
+                &bucket.nodes,
+                shape.num_layers,
+                &mut scratch,
+            );
             let stats = BucketStats {
                 degree: bucket.degree,
                 num_output: bucket.volume(),
@@ -118,7 +123,9 @@ pub fn grouping(quick: bool) {
         ]);
     }
     t.print();
-    println!("(greedy-descending should dominate: smallest max group -> smallest K satisfies a budget)");
+    println!(
+        "(greedy-descending should dominate: smallest max group -> smallest K satisfies a budget)"
+    );
 }
 
 /// Estimator ablation: redundancy-aware (Eq. 2) vs linear-sum group
@@ -132,11 +139,8 @@ pub fn estimator(quick: bool) {
     // their neighbors in the bucket, the regime where Eq. 1's discount is
     // live. Shuffled seeds scatter communities and the ratio caps at 1.
     let seeds: Vec<NodeId> = (0..w.batch.num_seeds as NodeId).collect();
-    w.batch = buffalo_sampling::BatchSampler::new(w.fanouts.clone()).sample(
-        &w.dataset.graph,
-        &seeds,
-        7,
-    );
+    w.batch =
+        buffalo_sampling::BatchSampler::new(w.fanouts.clone()).sample(&w.dataset.graph, &seeds, 7);
     let shape = w.shape(256, AggregatorKind::Lstm);
     let k = 4;
     let entries = build_entries(&w, &shape, 3 * k);
@@ -153,9 +157,8 @@ pub fn estimator(quick: bool) {
             .map(|(i, _)| i)
             .unwrap();
         groups[gi].push(idx);
-        loads[gi] +=
-            (entries[idx].mem_estimate as f64 * grouping_ratio(&entries[idx].stats, w.clustering))
-                as u64;
+        loads[gi] += (entries[idx].mem_estimate as f64
+            * grouping_ratio(&entries[idx].stats, w.clustering)) as u64;
     }
     let mut t = Table::new([
         "group",
@@ -185,8 +188,8 @@ pub fn estimator(quick: bool) {
         let aware: u64 = members
             .iter()
             .map(|&i| {
-                (entries[i].mem_estimate as f64
-                    * grouping_ratio(&entries[i].stats, w.clustering)) as u64
+                (entries[i].mem_estimate as f64 * grouping_ratio(&entries[i].stats, w.clustering))
+                    as u64
             })
             .sum();
         let linear: u64 = members.iter().map(|&i| entries[i].mem_estimate).sum();
@@ -283,12 +286,16 @@ pub fn layer(quick: bool) {
 /// optimization the paper's related work (§II-B) applies and Buffalo
 /// composes with, because its plan is known up front.
 pub fn pipeline(quick: bool) {
+    use crate::output::secs;
     use buffalo_core::sim::{simulate_iteration, SimContext, Strategy};
     use buffalo_memsim::{CostModel, DeviceMemory};
-    use crate::output::secs;
     let cost = CostModel::rtx6000();
     let mut t = Table::new(["dataset", "K", "serial", "pipelined", "saved %"]);
-    for name in [DatasetName::OgbnArxiv, DatasetName::OgbnProducts, DatasetName::OgbnPapers] {
+    for name in [
+        DatasetName::OgbnArxiv,
+        DatasetName::OgbnProducts,
+        DatasetName::OgbnPapers,
+    ] {
         let w = load_workload(name, quick);
         let shape = w.shape(128, AggregatorKind::Lstm);
         let ctx = SimContext {
@@ -314,7 +321,13 @@ pub fn pipeline(quick: bool) {
                 ]);
             }
             Err(e) => {
-                t.row([name.to_string(), "-".into(), "-".into(), "-".into(), format!("{e}")]);
+                t.row([
+                    name.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("{e}"),
+                ]);
             }
         }
     }

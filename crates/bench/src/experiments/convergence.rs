@@ -28,7 +28,11 @@ pub fn fig17(quick: bool) {
     let w = load_workload_with(DatasetName::OgbnArxiv, 64, TRAIN_FANOUTS.to_vec(), 5);
     let cost = CostModel::rtx6000();
     let iters = if quick { 8 } else { 20 };
-    let sizes: &[usize] = if quick { &[128, 256] } else { &[256, 512, 1024] };
+    let sizes: &[usize] = if quick {
+        &[128, 256]
+    } else {
+        &[256, 512, 1024]
+    };
     for &bs in sizes {
         let seeds: Vec<NodeId> = (0..bs as NodeId).collect();
         let batch = BatchSampler::new(TRAIN_FANOUTS.to_vec()).sample(&w.dataset.graph, &seeds, 11);
@@ -53,7 +57,12 @@ pub fn fig17(quick: bool) {
         );
         let mut full = FullBatchTrainer::new(config.clone());
         let mut buffalo = BuffaloTrainer::new(config, w.clustering);
-        let mut t = Table::new(["iteration", "batch loss", "micro-batch loss", "micro-batches"]);
+        let mut t = Table::new([
+            "iteration",
+            "batch loss",
+            "micro-batch loss",
+            "micro-batches",
+        ]);
         let mut max_rel_diff = 0.0f64;
         for i in 0..iters {
             let sf = full
@@ -62,8 +71,8 @@ pub fn fig17(quick: bool) {
             let sb = buffalo
                 .train_iteration(&w.dataset, &batch, &budget, &cost)
                 .expect("buffalo fits budget");
-            max_rel_diff = max_rel_diff
-                .max((sf.loss - sb.loss).abs() as f64 / sf.loss.abs().max(1e-6) as f64);
+            max_rel_diff =
+                max_rel_diff.max((sf.loss - sb.loss).abs() as f64 / sf.loss.abs().max(1e-6) as f64);
             t.row([
                 i.to_string(),
                 format!("{:.4}", sf.loss),
@@ -73,7 +82,10 @@ pub fn fig17(quick: bool) {
         }
         println!("batch size {bs}:");
         t.print();
-        println!("max relative loss divergence: {:.2}%\n", 100.0 * max_rel_diff);
+        println!(
+            "max relative loss divergence: {:.2}%\n",
+            100.0 * max_rel_diff
+        );
     }
     println!("(paper: curves closely aligned — micro-batch training does not affect convergence)");
 }
@@ -88,7 +100,13 @@ pub fn fig17(quick: bool) {
 pub fn tab4(quick: bool) {
     let cost = CostModel::rtx6000();
     let iters = if quick { 6 } else { 12 };
-    let mut t = Table::new(["dataset", "model", "DGL loss", "Buffalo loss", "micro-batches"]);
+    let mut t = Table::new([
+        "dataset",
+        "model",
+        "DGL loss",
+        "Buffalo loss",
+        "micro-batches",
+    ]);
     for name in DatasetName::ALL {
         let w = load_workload(name, quick);
         for (model_name, oom_shape, train_agg) in [
@@ -150,19 +168,24 @@ pub fn tab4(quick: bool) {
             let fmt = |v: &[f32]| {
                 let tail = &v[v.len().saturating_sub(3)..];
                 let mean = tail.iter().sum::<f32>() / tail.len() as f32;
-                let var = tail.iter().map(|x| (x - mean).powi(2)).sum::<f32>()
-                    / tail.len() as f32;
+                let var = tail.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / tail.len() as f32;
                 format!("{mean:.4} ± {:.4}", var.sqrt())
             };
             t.row([
                 name.to_string(),
                 model_name.into(),
-                if dgl_oom { "OOM".into() } else { fmt(&dgl_losses) },
+                if dgl_oom {
+                    "OOM".into()
+                } else {
+                    fmt(&dgl_losses)
+                },
                 fmt(&buf_losses),
                 micro.to_string(),
             ]);
         }
     }
     t.print();
-    println!("(paper: Buffalo loss matches DGL wherever DGL fits; Buffalo also trains every OOM cell)");
+    println!(
+        "(paper: Buffalo loss matches DGL wherever DGL fits; Buffalo also trains every OOM cell)"
+    );
 }

@@ -4,10 +4,10 @@
 use crate::context::load_workload;
 use crate::output::{mem, Table};
 use buffalo_blocks::{generate_blocks_fast, GenerateOptions};
+use buffalo_bucketing::degree_bucketing;
 use buffalo_graph::datasets::DatasetName;
 use buffalo_graph::stats;
 use buffalo_memsim::{measure, AggregatorKind};
-use buffalo_bucketing::degree_bucketing;
 use buffalo_partition::BettyPartitioner;
 
 /// Figure 1: degree frequency of all nodes in OGBN-products, showing the
@@ -54,9 +54,7 @@ pub fn fig4(quick: bool) {
     println!("\n(b) OGBN-arxiv bucket volumes (F={cutoff}):");
     let volumes = print_volumes(&arxiv.batch.graph, arxiv.batch.num_seeds, cutoff);
     let last = *volumes.last().unwrap() as f64;
-    let rest_mean = volumes[..volumes.len() - 1]
-        .iter()
-        .sum::<usize>() as f64
+    let rest_mean = volumes[..volumes.len() - 1].iter().sum::<usize>() as f64
         / (volumes.len() - 1).max(1) as f64;
     println!(
         "explosion: last bucket {}x the mean of the others",

@@ -32,7 +32,7 @@ fn configs(w: &Workload) -> Vec<Config> {
     }
     for depth in [2usize, 3, 4] {
         let mut fanouts = vec![10];
-        fanouts.extend(std::iter::repeat(10).take(depth.saturating_sub(2)));
+        fanouts.extend(std::iter::repeat_n(10, depth.saturating_sub(2)));
         fanouts.push(25);
         let mut shape = w.shape(256, AggregatorKind::Lstm);
         shape.num_layers = depth;
@@ -75,12 +75,7 @@ fn run_grid(quick: bool, buffalo: bool) {
             let batch_ref = if cfg.fanouts == w.fanouts {
                 &w.batch
             } else {
-                let alt = load_workload_with(
-                    name,
-                    w.batch.num_seeds,
-                    cfg.fanouts.clone(),
-                    42,
-                );
+                let alt = load_workload_with(name, w.batch.num_seeds, cfg.fanouts.clone(), 42);
                 batch = alt.batch;
                 &batch
             };
@@ -116,7 +111,11 @@ fn run_grid(quick: bool, buffalo: bool) {
                             cfg.label,
                             mem(rep.peak_mem_bytes),
                             format!("{:.1}x", gib(rep.peak_mem_bytes) / RTX6000_GIB),
-                            if over { "OOM".into() } else { "fits".to_string() },
+                            if over {
+                                "OOM".into()
+                            } else {
+                                "fits".to_string()
+                            },
                         ]);
                     }
                     Err(TrainError::Oom(e)) => {

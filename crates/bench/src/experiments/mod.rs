@@ -35,6 +35,7 @@ pub const ALL_IDS: &[&str] = &[
     "ablate-layer",
     "ablate-tiered",
     "ablate-pipeline",
+    "pipeline-train",
 ];
 
 /// Runs one experiment by id.
@@ -66,6 +67,7 @@ pub fn run(id: &str, quick: bool) -> Result<(), String> {
         "ablate-layer" => ablation::layer(quick),
         "ablate-tiered" => tiered::tiered(quick),
         "ablate-pipeline" => ablation::pipeline(quick),
+        "pipeline-train" => timing::pipeline_train(quick),
         other => return Err(format!("unknown experiment id `{other}`")),
     }
     println!();

@@ -62,8 +62,7 @@ pub fn multigpu(quick: bool) {
                 secs(rep.iteration_seconds),
                 format!(
                     "{:+.1}%",
-                    100.0 * (rep.iteration_seconds - one.iteration_seconds)
-                        / one.iteration_seconds
+                    100.0 * (rep.iteration_seconds - one.iteration_seconds) / one.iteration_seconds
                 ),
             ]);
         }

@@ -166,13 +166,7 @@ pub fn fig10(quick: bool) {
 /// scheduling — the paper reports a 4–6 % spread.
 pub fn fig14(quick: bool) {
     let cost = CostModel::rtx6000();
-    let mut t = Table::new([
-        "dataset",
-        "micro-batches",
-        "min",
-        "max",
-        "spread %",
-    ]);
+    let mut t = Table::new(["dataset", "micro-batches", "min", "max", "spread %"]);
     for (name, k) in [
         (DatasetName::OgbnArxiv, 4u64),
         (DatasetName::OgbnProducts, 12),
@@ -291,9 +285,7 @@ pub fn fig16(quick: bool) {
     let mut best_baseline = 0.0f64;
     let mut buffalo_eff = 0.0f64;
     // Find the minimum K at which a fixed-K strategy fits the budget.
-    let fit = |make: &dyn Fn(usize) -> Strategy| -> Option<
-        buffalo_core::sim::SimReport,
-    > {
+    let fit = |make: &dyn Fn(usize) -> Strategy| -> Option<buffalo_core::sim::SimReport> {
         let mut k = 2;
         while k <= w.batch.num_seeds {
             match simulate_iteration(&w.batch, ctx, make(k), &budget, &cost) {
@@ -304,7 +296,8 @@ pub fn fig16(quick: bool) {
         }
         None
     };
-    let baselines: Vec<(&str, Box<dyn Fn(usize) -> Strategy>)> = vec![
+    type StrategyMaker = Box<dyn Fn(usize) -> Strategy>;
+    let baselines: Vec<(&str, StrategyMaker)> = vec![
         ("random", Box::new(|k| Strategy::Random { k, seed: 7 })),
         ("range", Box::new(|k| Strategy::Range { k })),
         ("metis", Box::new(|k| Strategy::Metis { k })),
@@ -324,7 +317,13 @@ pub fn fig16(quick: bool) {
                 ]);
             }
             None => {
-                t.row::<String, _>([(*name).into(), "-".into(), "-".into(), "-".into(), "failed".into()]);
+                t.row::<String, _>([
+                    (*name).into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "failed".into(),
+                ]);
             }
         }
     }
@@ -340,7 +339,13 @@ pub fn fig16(quick: bool) {
             ]);
         }
         Err(e) => {
-            t.row(["buffalo".into(), "-".into(), "-".into(), "-".into(), format!("failed: {e}")]);
+            t.row([
+                "buffalo".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                format!("failed: {e}"),
+            ]);
         }
     }
     t.print();

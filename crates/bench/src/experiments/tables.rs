@@ -83,8 +83,8 @@ fn estimation_error(w: &Workload, agg: AggregatorKind, k: u64) -> Option<(usize,
                 num_output: bucket.volume(),
                 num_input: counts.output_layer_inputs(),
             };
-            let mem_estimate = mem_from_counts(&counts, &shape)
-                .saturating_sub(shape.parameter_bytes());
+            let mem_estimate =
+                mem_from_counts(&counts, &shape).saturating_sub(shape.parameter_bytes());
             BucketEntry {
                 bucket,
                 stats,
@@ -92,13 +92,8 @@ fn estimation_error(w: &Workload, agg: AggregatorKind, k: u64) -> Option<(usize,
             }
         })
         .collect();
-    let outcome = mem_balanced_grouping(
-        &entries,
-        k,
-        u64::MAX,
-        w.clustering,
-        shape.parameter_bytes(),
-    );
+    let outcome =
+        mem_balanced_grouping(&entries, k, u64::MAX, w.clustering, shape.parameter_bytes());
     let mut errors = Vec::new();
     for (group, &est) in outcome.groups.iter().zip(&outcome.group_estimates) {
         if group.is_empty() {

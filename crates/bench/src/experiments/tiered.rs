@@ -51,10 +51,7 @@ pub fn tiered(quick: bool) {
         let device = DeviceMemory::new(fast);
         let buffalo = simulate_iteration(&w.batch, ctx, Strategy::Buffalo, &device, &cost);
         let (k, b_time) = match &buffalo {
-            Ok(rep) => (
-                rep.num_micro_batches.to_string(),
-                secs(rep.phases.total()),
-            ),
+            Ok(rep) => (rep.num_micro_batches.to_string(), secs(rep.phases.total())),
             Err(e) => ("-".into(), format!("failed: {e}")),
         };
         let spill_time = |bw: f64| {
@@ -71,13 +68,7 @@ pub fn tiered(quick: bool) {
                 "infeasible".to_string()
             }
         };
-        t.row([
-            mem(fast),
-            k,
-            b_time,
-            spill_time(12e9),
-            spill_time(48e9),
-        ]);
+        t.row([mem(fast), k, b_time, spill_time(12e9), spill_time(48e9)]);
     }
     t.print();
     println!("(micro-batching pays redundancy + per-batch overhead; spilling pays two");

@@ -41,8 +41,7 @@ impl Block {
             "offsets must be non-decreasing"
         );
         assert!(
-            src_nodes.len() >= dst_nodes.len()
-                && src_nodes[..dst_nodes.len()] == dst_nodes[..],
+            src_nodes.len() >= dst_nodes.len() && src_nodes[..dst_nodes.len()] == dst_nodes[..],
             "src_nodes must begin with dst_nodes"
         );
         assert!(
@@ -111,7 +110,10 @@ impl Block {
 
     /// Maximum in-degree over all destinations (0 if there are none).
     pub fn max_in_degree(&self) -> usize {
-        (0..self.num_dst()).map(|i| self.in_degree(i)).max().unwrap_or(0)
+        (0..self.num_dst())
+            .map(|i| self.in_degree(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Approximate in-memory footprint of the block structure in bytes.

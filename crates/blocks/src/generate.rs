@@ -5,17 +5,11 @@ use buffalo_graph::{CsrGraph, NodeId};
 use std::collections::HashMap;
 
 /// Options for [`generate_blocks_fast`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct GenerateOptions {
     /// Worker threads for node-level parallelism. `None` uses the number of
     /// available CPUs.
     pub threads: Option<usize>,
-}
-
-impl Default for GenerateOptions {
-    fn default() -> Self {
-        GenerateOptions { threads: None }
-    }
 }
 
 fn resolve_threads(opts: &GenerateOptions) -> usize {
@@ -37,8 +31,8 @@ fn resolve_threads(opts: &GenerateOptions) -> usize {
 /// 1. Each destination's sources are read *directly from its CSR row* of
 ///    the sampled subgraph — there is no re-validation against the
 ///    original graph ("avoiding repeated connection checks").
-/// 2. Row gathering is parallel at the node level (crossbeam scoped
-///    threads over row chunks).
+/// 2. Row gathering is parallel at the node level (std scoped threads
+///    over row chunks).
 ///
 /// # Panics
 ///
@@ -99,16 +93,15 @@ fn gather_rows<'g>(g: &'g CsrGraph, dst: &[NodeId], threads: usize) -> Vec<&'g [
     }
     let chunk = dst.len().div_ceil(threads);
     let mut rows: Vec<&[NodeId]> = vec![&[]; dst.len()];
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (dst_chunk, out_chunk) in dst.chunks(chunk).zip(rows.chunks_mut(chunk)) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (o, &v) in out_chunk.iter_mut().zip(dst_chunk) {
                     *o = g.neighbors(v);
                 }
             });
         }
-    })
-    .expect("row gather worker panicked");
+    });
     rows
 }
 

@@ -20,6 +20,8 @@
 
 mod block;
 mod generate;
+mod prepared;
 
 pub use block::Block;
 pub use generate::{generate_blocks_checked, generate_blocks_fast, GenerateOptions};
+pub use prepared::PreparedBlocks;

@@ -1,0 +1,202 @@
+//! The prepared-block handle: everything the device stage of a pipelined
+//! trainer needs for one micro-batch, produced entirely on the CPU.
+//!
+//! A [`PreparedBlocks`] is assembled by the **Prepare** stage (block
+//! generation, then feature/label gather) and handed — by move, across a
+//! channel — to the **Execute** stage. All payloads are owned flat buffers,
+//! so the handoff never copies feature data, and
+//! [`into_parts`](PreparedBlocks::into_parts) releases ownership to the
+//! consumer the same way.
+
+use crate::block::Block;
+use crate::generate::{generate_blocks_fast, GenerateOptions};
+use buffalo_graph::{CsrGraph, NodeId};
+use std::time::Instant;
+
+/// One micro-batch, fully prepared for device execution: its per-layer
+/// blocks plus gathered input features and output labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedBlocks {
+    blocks: Vec<Block>,
+    features: Vec<f32>,
+    feat_dim: usize,
+    labels: Vec<u32>,
+    block_gen_seconds: f64,
+    gather_seconds: f64,
+}
+
+impl PreparedBlocks {
+    /// Runs fast block generation for a (micro-)batch subgraph, timing it.
+    /// Features and labels start empty; attach them with
+    /// [`set_features`](Self::set_features) / [`set_labels`](Self::set_labels).
+    ///
+    /// # Panics
+    ///
+    /// Propagates [`generate_blocks_fast`]'s panics (`depth == 0` or
+    /// `num_seeds` out of range).
+    pub fn generate(
+        batch_graph: &CsrGraph,
+        num_seeds: usize,
+        depth: usize,
+        opts: GenerateOptions,
+    ) -> Self {
+        let t0 = Instant::now();
+        let blocks = generate_blocks_fast(batch_graph, num_seeds, depth, opts);
+        PreparedBlocks {
+            blocks,
+            features: Vec::new(),
+            feat_dim: 0,
+            labels: Vec::new(),
+            block_gen_seconds: t0.elapsed().as_secs_f64(),
+            gather_seconds: 0.0,
+        }
+    }
+
+    /// Wraps already-generated blocks (e.g. from the checked baseline).
+    pub fn from_blocks(blocks: Vec<Block>) -> Self {
+        PreparedBlocks {
+            blocks,
+            features: Vec::new(),
+            feat_dim: 0,
+            labels: Vec::new(),
+            block_gen_seconds: 0.0,
+            gather_seconds: 0.0,
+        }
+    }
+
+    /// The per-layer blocks, input layer first.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Source nodes of the innermost layer — the rows whose features the
+    /// Prepare stage must gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle holds no blocks.
+    pub fn input_srcs(&self) -> &[NodeId] {
+        self.blocks.first().expect("empty block list").src_nodes()
+    }
+
+    /// Destination nodes of the outermost layer — the nodes whose labels
+    /// the loss needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle holds no blocks.
+    pub fn output_dsts(&self) -> &[NodeId] {
+        self.blocks.last().expect("empty block list").dst_nodes()
+    }
+
+    /// Number of output nodes.
+    pub fn num_outputs(&self) -> usize {
+        self.blocks.last().map_or(0, |b| b.num_dst())
+    }
+
+    /// Attaches the gathered feature matrix (row-major,
+    /// `input_srcs().len() × feat_dim`) and the wall-clock seconds the
+    /// gather took.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer size does not match `input_srcs().len() ×
+    /// feat_dim`.
+    pub fn set_features(&mut self, features: Vec<f32>, feat_dim: usize, gather_seconds: f64) {
+        assert_eq!(
+            features.len(),
+            self.input_srcs().len() * feat_dim,
+            "feature buffer does not match input sources × feat_dim"
+        );
+        self.features = features;
+        self.feat_dim = feat_dim;
+        self.gather_seconds += gather_seconds;
+    }
+
+    /// Attaches the gathered labels (one per output node) and the
+    /// wall-clock seconds the gather took.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count does not match `num_outputs()`.
+    pub fn set_labels(&mut self, labels: Vec<u32>, gather_seconds: f64) {
+        assert_eq!(
+            labels.len(),
+            self.num_outputs(),
+            "label count does not match output nodes"
+        );
+        self.labels = labels;
+        self.gather_seconds += gather_seconds;
+    }
+
+    /// Wall-clock seconds spent generating blocks.
+    pub fn block_gen_seconds(&self) -> f64 {
+        self.block_gen_seconds
+    }
+
+    /// Wall-clock seconds spent gathering features/labels.
+    pub fn gather_seconds(&self) -> f64 {
+        self.gather_seconds
+    }
+
+    /// Releases ownership of the payload without copying:
+    /// `(blocks, features, feat_dim, labels)`.
+    pub fn into_parts(self) -> (Vec<Block>, Vec<f32>, usize, Vec<u32>) {
+        (self.blocks, self.features, self.feat_dim, self.labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffalo_graph::generators;
+
+    fn prepared() -> PreparedBlocks {
+        let g = generators::barabasi_albert(200, 4, 0.3, 1).unwrap();
+        PreparedBlocks::generate(&g, 32, 2, GenerateOptions::default())
+    }
+
+    #[test]
+    fn generate_records_timing_and_shape() {
+        let p = prepared();
+        assert_eq!(p.blocks().len(), 2);
+        assert_eq!(p.num_outputs(), 32);
+        assert!(p.block_gen_seconds() >= 0.0);
+        assert_eq!(p.gather_seconds(), 0.0);
+        assert_eq!(p.output_dsts().len(), 32);
+        assert!(p.input_srcs().len() >= p.output_dsts().len());
+    }
+
+    #[test]
+    fn payload_moves_through_without_copies() {
+        let mut p = prepared();
+        let rows = p.input_srcs().len();
+        let feats = vec![1.5f32; rows * 8];
+        let feat_ptr = feats.as_ptr();
+        p.set_features(feats, 8, 0.01);
+        let labels = vec![0u32; p.num_outputs()];
+        let label_ptr = labels.as_ptr();
+        p.set_labels(labels, 0.02);
+        assert!((p.gather_seconds() - 0.03).abs() < 1e-12);
+        let (blocks, feats, dim, labels) = p.into_parts();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(dim, 8);
+        // Same heap buffers end to end.
+        assert_eq!(feats.as_ptr(), feat_ptr);
+        assert_eq!(labels.as_ptr(), label_ptr);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature buffer does not match")]
+    fn mismatched_features_are_rejected() {
+        let mut p = prepared();
+        p.set_features(vec![0.0; 3], 8, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count does not match")]
+    fn mismatched_labels_are_rejected() {
+        let mut p = prepared();
+        p.set_labels(vec![0; 1], 0.0);
+    }
+}

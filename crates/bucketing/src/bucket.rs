@@ -95,10 +95,7 @@ pub fn degree_bucketing(batch: &CsrGraph, num_seeds: usize, cutoff: usize) -> Ve
 /// flagged. With the paper's long-tail degree distributions the flagged
 /// bucket is the cut-off bucket; the detector is generic anyway.
 pub fn detect_explosion(buckets: &[DegreeBucket], factor: f64) -> Option<usize> {
-    let (idx, largest) = buckets
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, b)| b.volume())?;
+    let (idx, largest) = buckets.iter().enumerate().max_by_key(|(_, b)| b.volume())?;
     if buckets.len() == 1 {
         return (largest.volume() > 1).then_some(idx);
     }
@@ -213,8 +210,16 @@ mod tests {
     #[test]
     fn explosion_detected_on_skew() {
         let buckets = vec![
-            DegreeBucket { degree: 1, nodes: vec![0, 1], split_index: None },
-            DegreeBucket { degree: 2, nodes: vec![2, 3], split_index: None },
+            DegreeBucket {
+                degree: 1,
+                nodes: vec![0, 1],
+                split_index: None,
+            },
+            DegreeBucket {
+                degree: 2,
+                nodes: vec![2, 3],
+                split_index: None,
+            },
             DegreeBucket {
                 degree: 10,
                 nodes: (4..104).collect(),

@@ -136,7 +136,7 @@ mod tests {
         let seeds: Vec<NodeId> = (0..100).collect();
         let batch = BatchSampler::new(vec![6, 6]).sample(&g, &seeds, 5);
         let mut scratch = ClosureScratch::default();
-        let all = closure_counts(&batch.graph, &seeds.iter().map(|&s| s).collect::<Vec<_>>(), 2, &mut scratch);
+        let all = closure_counts(&batch.graph, &seeds, 2, &mut scratch);
         let half = closure_counts(&batch.graph, &(0..50).collect::<Vec<_>>(), 2, &mut scratch);
         assert!(half.layers[0].num_src <= all.layers[0].num_src);
         assert!(half.layers[1].num_edges <= all.layers[1].num_edges);

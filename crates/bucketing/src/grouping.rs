@@ -169,11 +169,7 @@ mod tests {
         let entries = vec![entry(1, 1), entry(100, 1)];
         let out = mem_balanced_grouping(&entries, 2, 1000, 0.5, 0);
         // The 100-byte bucket must be alone in its group.
-        let g_of_big = out
-            .groups
-            .iter()
-            .position(|g| g.contains(&1))
-            .unwrap();
+        let g_of_big = out.groups.iter().position(|g| g.contains(&1)).unwrap();
         assert_eq!(out.groups[g_of_big], vec![1]);
     }
 

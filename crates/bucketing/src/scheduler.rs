@@ -247,9 +247,8 @@ impl BuffaloScheduler {
             });
         }
         let activation_budget = mem_constraint - param_bytes;
-        let k_min = (((whole_mem - param_bytes.min(whole_mem)) / activation_budget.max(1))
-            as usize)
-            .max(2);
+        let k_min =
+            (((whole_mem - param_bytes.min(whole_mem)) / activation_budget.max(1)) as usize).max(2);
         if k_min > self.options.k_max {
             // Even a perfect packing cannot satisfy the constraint within
             // K_max groups.

@@ -62,9 +62,8 @@ impl GatLayer {
         assert_eq!(h_src.rows(), block.num_src(), "h_src row count mismatch");
         let n_dst = block.num_dst();
         let z = self.lin.forward(h_src);
-        let dot = |a: &Tensor, row: &[f32]| -> f32 {
-            a.row(0).iter().zip(row).map(|(x, y)| x * y).sum()
-        };
+        let dot =
+            |a: &Tensor, row: &[f32]| -> f32 { a.row(0).iter().zip(row).map(|(x, y)| x * y).sum() };
         let mut y = Tensor::zeros(n_dst, self.out_dim);
         let mut alphas = Vec::with_capacity(n_dst);
         let mut positive = Vec::with_capacity(n_dst);
@@ -130,15 +129,9 @@ impl GatLayer {
             let pos = &cache.positive[i];
             let dagg = dy.row(i).to_vec();
             // dα and the softmax Jacobian.
-            let dalpha: Vec<f32> = cands
-                .iter()
-                .map(|&j| dot(&dagg, cache.z.row(j)))
-                .collect();
+            let dalpha: Vec<f32> = cands.iter().map(|&j| dot(&dagg, cache.z.row(j))).collect();
             let sum_term: f32 = alpha.iter().zip(&dalpha).map(|(a, d)| a * d).sum();
-            for ((&j, (&a, &da)), &p) in cands
-                .iter()
-                .zip(alpha.iter().zip(&dalpha))
-                .zip(pos.iter())
+            for ((&j, (&a, &da)), &p) in cands.iter().zip(alpha.iter().zip(&dalpha)).zip(pos.iter())
             {
                 // Through aggregation: dz_j += α_j · dagg.
                 for (o, &g) in dz.row_mut(j).iter_mut().zip(&dagg) {
@@ -208,7 +201,11 @@ impl GatModel {
     ///
     /// Panics if `blocks.len()` differs from model depth.
     pub fn forward(&self, blocks: &[Block], features: &Tensor) -> (Tensor, Vec<GatCache>) {
-        assert_eq!(blocks.len(), self.layers.len(), "block/layer count mismatch");
+        assert_eq!(
+            blocks.len(),
+            self.layers.len(),
+            "block/layer count mismatch"
+        );
         let mut h = features.clone();
         let mut caches = Vec::with_capacity(self.layers.len());
         for (layer, block) in self.layers.iter().zip(blocks) {
@@ -235,7 +232,10 @@ impl GatModel {
 
     /// All parameters.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 }
 

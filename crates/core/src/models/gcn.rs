@@ -129,7 +129,11 @@ impl GcnModel {
     ///
     /// Panics if `blocks.len()` differs from the model depth.
     pub fn forward(&self, blocks: &[Block], features: &Tensor) -> (Tensor, Vec<GcnCache>) {
-        assert_eq!(blocks.len(), self.layers.len(), "block/layer count mismatch");
+        assert_eq!(
+            blocks.len(),
+            self.layers.len(),
+            "block/layer count mismatch"
+        );
         let mut h = features.clone();
         let mut caches = Vec::with_capacity(self.layers.len());
         for (layer, block) in self.layers.iter().zip(blocks) {
@@ -156,7 +160,10 @@ impl GcnModel {
 
     /// All parameters.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 }
 

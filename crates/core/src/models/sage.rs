@@ -145,12 +145,12 @@ impl SageLayer {
                 let proj_mask = p.relu_inplace();
                 let mut agg = Tensor::zeros(n_dst, dim);
                 let mut argmax = vec![vec![u32::MAX; dim]; n_dst];
-                for i in 0..n_dst {
+                for (i, arg_row) in argmax.iter_mut().enumerate() {
                     let pos = block.src_positions(i);
                     if pos.is_empty() {
                         continue;
                     }
-                    for d in 0..dim {
+                    for (d, slot) in arg_row.iter_mut().enumerate() {
                         let mut best = f32::NEG_INFINITY;
                         let mut best_p = u32::MAX;
                         for &q in pos {
@@ -161,7 +161,7 @@ impl SageLayer {
                             }
                         }
                         agg.set(i, d, best);
-                        argmax[i][d] = best_p;
+                        *slot = best_p;
                     }
                 }
                 (
@@ -230,8 +230,7 @@ impl SageLayer {
                     }
                     let inv = 1.0 / pos.len() as f32;
                     for &p in pos {
-                        let dst_row: Vec<f32> =
-                            d_agg.row(i).iter().map(|&g| g * inv).collect();
+                        let dst_row: Vec<f32> = d_agg.row(i).iter().map(|&g| g * inv).collect();
                         let src_row = dh_src.row_mut(p as usize);
                         for (s, g) in src_row.iter_mut().zip(dst_row) {
                             *s += g;
@@ -248,9 +247,8 @@ impl SageLayer {
                 },
             ) => {
                 let mut dproj = Tensor::zeros(p_cached.rows(), self.in_dim);
-                for i in 0..n_dst {
-                    for d in 0..self.in_dim {
-                        let q = argmax[i][d];
+                for (i, arg_row) in argmax.iter().enumerate().take(n_dst) {
+                    for (d, &q) in arg_row.iter().enumerate() {
                         if q != u32::MAX {
                             let cur = dproj.get(q as usize, d);
                             dproj.set(q as usize, d, cur + d_agg.get(i, d));
@@ -331,7 +329,11 @@ impl SageModel {
     ///
     /// Panics if `blocks.len()` differs from the model depth.
     pub fn forward(&self, blocks: &[Block], features: &Tensor) -> (Tensor, Vec<SageCache>) {
-        assert_eq!(blocks.len(), self.layers.len(), "block/layer count mismatch");
+        assert_eq!(
+            blocks.len(),
+            self.layers.len(),
+            "block/layer count mismatch"
+        );
         let mut h = features.clone();
         let mut caches = Vec::with_capacity(self.layers.len());
         for (layer, block) in self.layers.iter().zip(blocks) {
@@ -358,7 +360,10 @@ impl SageModel {
 
     /// All parameters.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 }
 
@@ -478,7 +483,7 @@ mod tests {
     #[test]
     fn lstm_buckets_group_by_degree() {
         let layer = SageLayer::new(3, 3, AggregatorKind::Lstm, false, 9);
-        let blocks = vec![inner_block(), test_block()];
+        let blocks = [inner_block(), test_block()];
         let x = Tensor::xavier(5, 3, 3);
         // Layer over the output block: dst degrees are 2 and 3 — two
         // buckets expected.

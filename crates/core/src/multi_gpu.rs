@@ -54,9 +54,8 @@ pub fn simulate_data_parallel(
     let device = DeviceMemory::new(per_gpu_budget);
     let base = simulate_iteration(batch, ctx, Strategy::Buffalo, &device, cost)?;
     // CPU phases stay serial: scheduling + extraction + block generation.
-    let cpu_seconds = base.phases.scheduling
-        + base.phases.connection_check
-        + base.phases.block_construction;
+    let cpu_seconds =
+        base.phases.scheduling + base.phases.connection_check + base.phases.block_construction;
     // Distribute micro-batch device time round-robin. Without per-micro
     // compute times we approximate by splitting the device phases evenly
     // over micro-batches, which is accurate because Buffalo balances
@@ -125,7 +124,10 @@ mod tests {
         // CPU-side generation dominates and does not parallelize.
         assert!(two.cpu_seconds > 0.0);
         let device_speedup = one.max_gpu_seconds / two.max_gpu_seconds;
-        assert!(device_speedup <= 2.0 + 1e-9, "speedup {device_speedup} impossibly large");
+        assert!(
+            device_speedup <= 2.0 + 1e-9,
+            "speedup {device_speedup} impossibly large"
+        );
         assert!(two.comm_seconds > 0.0);
         assert_eq!(one.comm_seconds, 0.0);
     }

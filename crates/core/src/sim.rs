@@ -12,8 +12,10 @@ use crate::TrainError;
 use buffalo_blocks::{generate_blocks_checked, generate_blocks_fast, GenerateOptions};
 use buffalo_bucketing::BuffaloScheduler;
 use buffalo_graph::{CsrGraph, NodeId};
-use buffalo_memsim::{measure, CostModel, DeviceMemory, GnnShape};
-use buffalo_partition::{metis_kway, random_partition, range_partition, BettyPartitioner, MetisOptions};
+use buffalo_memsim::{measure, CostModel, DeviceMemory, DeviceTimeline, GnnShape};
+use buffalo_partition::{
+    metis_kway, random_partition, range_partition, BettyPartitioner, MetisOptions,
+};
 use buffalo_sampling::Batch;
 use std::time::Instant;
 
@@ -133,19 +135,19 @@ impl SimReport {
     /// End-to-end iteration time under double-buffered execution, where
     /// micro-batch `i + 1`'s CPU preparation overlaps micro-batch `i`'s
     /// device work — the pipelining optimization the paper's related work
-    /// (§II-B) applies and Buffalo composes with. Partitioning/scheduling
-    /// cannot overlap (the plan must exist before extraction starts).
+    /// (§II-B) applies and Buffalo composes with. Replayed through the
+    /// same bounded depth-2 [`DeviceTimeline`] the pipelined trainers use,
+    /// so preparation may run at most one micro-batch ahead.
+    /// Partitioning/scheduling cannot overlap (the plan must exist before
+    /// extraction starts).
     pub fn pipelined_total(&self) -> f64 {
-        let fixed = self.phases.scheduling
-            + self.phases.reg_construction
-            + self.phases.metis_partition;
-        let mut cpu_done = 0.0f64;
-        let mut dev_done = 0.0f64;
+        let fixed =
+            self.phases.scheduling + self.phases.reg_construction + self.phases.metis_partition;
+        let mut timeline = DeviceTimeline::new(2.min(self.per_micro_cpu.len().max(1)));
         for (c, d) in self.per_micro_cpu.iter().zip(&self.per_micro_device) {
-            cpu_done += c;
-            dev_done = dev_done.max(cpu_done) + d;
+            timeline.record(*c, *d);
         }
-        fixed + dev_done.max(cpu_done)
+        fixed + timeline.makespan()
     }
 }
 
@@ -197,11 +199,8 @@ pub fn simulate_iteration(
     let groups: Vec<Vec<NodeId>> = match strategy {
         Strategy::Full => vec![(0..batch.num_seeds as NodeId).collect()],
         Strategy::Buffalo => {
-            let scheduler = BuffaloScheduler::new(
-                ctx.shape.clone(),
-                ctx.fanouts.to_vec(),
-                ctx.clustering,
-            );
+            let scheduler =
+                BuffaloScheduler::new(ctx.shape.clone(), ctx.fanouts.to_vec(), ctx.clustering);
             let plan = scheduler.schedule(&batch.graph, batch.num_seeds, device.budget())?;
             phases.scheduling = plan.scheduling_time.as_secs_f64();
             plan.groups
@@ -318,9 +317,8 @@ mod tests {
         // Large enough that micro-batch closures do not saturate the
         // graph — the regime the paper's datasets are in.
         let original = generators::barabasi_albert(20_000, 8, 0.5, 2).unwrap();
-        let clustering = buffalo_graph::stats::clustering_coefficient_sampled(
-            &original, 2_000, 40, 1,
-        );
+        let clustering =
+            buffalo_graph::stats::clustering_coefficient_sampled(&original, 2_000, 40, 1);
         let seeds: Vec<NodeId> = (0..600).collect();
         let batch = BatchSampler::new(vec![10, 25]).sample(&original, &seeds, 8);
         let shape = GnnShape::new(128, 128, 2, 16, AggregatorKind::Lstm);
@@ -352,8 +350,7 @@ mod tests {
         let err =
             simulate_iteration(&f.batch, ctx(&f), Strategy::Full, &budget, &cost).unwrap_err();
         assert!(matches!(err, TrainError::Oom(_)));
-        let buf =
-            simulate_iteration(&f.batch, ctx(&f), Strategy::Buffalo, &budget, &cost).unwrap();
+        let buf = simulate_iteration(&f.batch, ctx(&f), Strategy::Buffalo, &budget, &cost).unwrap();
         assert!(buf.num_micro_batches > 1);
         assert!(buf.peak_mem_bytes <= budget.budget());
     }
@@ -392,13 +389,11 @@ mod tests {
         let f = fixture();
         let cost = CostModel::rtx6000();
         let device = DeviceMemory::with_gib(1024.0);
-        let rep =
-            simulate_iteration(&f.batch, ctx(&f), Strategy::Betty { k: 4 }, &device, &cost)
-                .unwrap();
+        let rep = simulate_iteration(&f.batch, ctx(&f), Strategy::Betty { k: 4 }, &device, &cost)
+            .unwrap();
         assert!(rep.phases.reg_construction > 0.0);
         assert!(rep.phases.block_construction > 0.0);
-        let buf =
-            simulate_iteration(&f.batch, ctx(&f), Strategy::Buffalo, &device, &cost).unwrap();
+        let buf = simulate_iteration(&f.batch, ctx(&f), Strategy::Buffalo, &device, &cost).unwrap();
         assert_eq!(buf.phases.reg_construction, 0.0);
         assert_eq!(buf.phases.metis_partition, 0.0);
     }
@@ -408,12 +403,10 @@ mod tests {
         let f = fixture();
         let cost = CostModel::rtx6000();
         let device = DeviceMemory::with_gib(1024.0);
-        let betty =
-            simulate_iteration(&f.batch, ctx(&f), Strategy::Betty { k: 8 }, &device, &cost)
-                .unwrap();
-        let range =
-            simulate_iteration(&f.batch, ctx(&f), Strategy::Range { k: 8 }, &device, &cost)
-                .unwrap();
+        let betty = simulate_iteration(&f.batch, ctx(&f), Strategy::Betty { k: 8 }, &device, &cost)
+            .unwrap();
+        let range = simulate_iteration(&f.batch, ctx(&f), Strategy::Range { k: 8 }, &device, &cost)
+            .unwrap();
         // Same number of micro-batches, but checked generation does
         // repeated connection checks against the original graph.
         assert!(
@@ -430,14 +423,8 @@ mod tests {
         let cost = CostModel::rtx6000();
         let device = DeviceMemory::with_gib(8.0);
         for k in [0usize, 601] {
-            let err = simulate_iteration(
-                &f.batch,
-                ctx(&f),
-                Strategy::Range { k },
-                &device,
-                &cost,
-            )
-            .unwrap_err();
+            let err = simulate_iteration(&f.batch, ctx(&f), Strategy::Range { k }, &device, &cost)
+                .unwrap_err();
             assert!(matches!(err, TrainError::InvalidMicroBatches { .. }));
         }
     }
@@ -447,9 +434,8 @@ mod tests {
         let f = fixture();
         let cost = CostModel::rtx6000();
         let device = DeviceMemory::with_gib(1024.0);
-        let rep =
-            simulate_iteration(&f.batch, ctx(&f), Strategy::Range { k: 6 }, &device, &cost)
-                .unwrap();
+        let rep = simulate_iteration(&f.batch, ctx(&f), Strategy::Range { k: 6 }, &device, &cost)
+            .unwrap();
         let serial = rep.phases.total();
         let pipelined = rep.pipelined_total();
         assert!(pipelined <= serial + 1e-9, "pipelining cannot be slower");
@@ -466,8 +452,7 @@ mod tests {
         let f = fixture();
         let cost = CostModel::rtx6000();
         let device = DeviceMemory::with_gib(1024.0);
-        let rep =
-            simulate_iteration(&f.batch, ctx(&f), Strategy::Buffalo, &device, &cost).unwrap();
+        let rep = simulate_iteration(&f.batch, ctx(&f), Strategy::Buffalo, &device, &cost).unwrap();
         assert!(rep.computation_efficiency() > 0.0);
     }
 }

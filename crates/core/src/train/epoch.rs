@@ -7,7 +7,7 @@ use crate::TrainError;
 use buffalo_blocks::{generate_blocks_fast, GenerateOptions};
 use buffalo_graph::datasets::Dataset;
 use buffalo_graph::NodeId;
-use buffalo_memsim::{CostModel, DeviceMemory};
+use buffalo_memsim::{CostModel, DeviceMemory, StageTimings};
 use buffalo_sampling::{Batch, BatchSampler, SeedBatches};
 use buffalo_tensor::softmax_cross_entropy;
 
@@ -105,6 +105,8 @@ pub struct EpochStats {
     pub val_accuracy: Option<f32>,
     /// Iterations (mini-batches) run.
     pub iterations: usize,
+    /// Stage timings accumulated over the epoch's iterations.
+    pub timings: StageTimings,
 }
 
 /// Runs `cfg.epochs` epochs of mini-batch training.
@@ -139,17 +141,18 @@ pub fn run_epochs<T: IterationTrainer>(
             cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9),
         );
         let (mut loss_sum, mut acc_sum, mut iters) = (0.0f64, 0.0f64, 0usize);
+        let mut timings = StageTimings::default();
         for i in 0..batches.num_batches() {
             let batch = sampler.sample(&ds.graph, batches.batch(i), cfg.seed + i as u64);
             let stats = trainer.train_iteration(ds, &batch, device, cost)?;
             loss_sum += stats.loss as f64;
             acc_sum += stats.accuracy as f64;
+            timings.accumulate(&stats.timings);
             iters += 1;
         }
         let val_accuracy = (cfg.eval_nodes > 0).then(|| {
-            let eval: Vec<NodeId> = (cfg.train_nodes as NodeId
-                ..(cfg.train_nodes + cfg.eval_nodes) as NodeId)
-                .collect();
+            let eval: Vec<NodeId> =
+                (cfg.train_nodes as NodeId..(cfg.train_nodes + cfg.eval_nodes) as NodeId).collect();
             evaluate(trainer.model(), ds, &eval, &fanouts, cfg.seed ^ 0xE7A1)
         });
         out.push(EpochStats {
@@ -158,6 +161,7 @@ pub fn run_epochs<T: IterationTrainer>(
             train_accuracy: (acc_sum / iters.max(1) as f64) as f32,
             val_accuracy,
             iterations: iters,
+            timings,
         });
     }
     Ok(out)
@@ -232,10 +236,7 @@ mod tests {
         let first = stats.first().unwrap();
         let last = stats.last().unwrap();
         assert!(last.mean_loss < first.mean_loss, "loss should fall");
-        let (f, l) = (
-            first.val_accuracy.unwrap(),
-            last.val_accuracy.unwrap(),
-        );
+        let (f, l) = (first.val_accuracy.unwrap(), last.val_accuracy.unwrap());
         // The synthetic task can saturate within the first epoch, so the
         // requirement is non-regression plus a decisively-above-chance end
         // state.

@@ -1,19 +1,29 @@
 //! Trainers: Algorithm 1 (whole-batch, DGL-style) and Algorithm 2
 //! (Buffalo micro-batch training with gradient accumulation), plus an
 //! epoch-level driver with held-out evaluation in [`epoch`].
+//!
+//! Both trainers run on the staged [`pipeline`] engine: a CPU **Prepare**
+//! stage (seed restriction, block generation, feature/label gather) and an
+//! in-order **Execute** stage (allocate, forward/backward, free) against
+//! the simulated device. With [`PipelineConfig::overlapped`], preparation
+//! of micro-batch *i + 1* runs on a worker thread while micro-batch *i*
+//! executes — same math, same gradient-accumulation order, bit-identical
+//! losses, smaller iteration makespan.
 
 mod epoch;
+mod pipeline;
 
 pub use epoch::{evaluate, run_epochs, EpochConfig, EpochStats, IterationTrainer};
+pub use pipeline::PipelineConfig;
 
 use crate::models::GnnModel;
 use crate::TrainError;
-use buffalo_blocks::{generate_blocks_fast, GenerateOptions};
 use buffalo_bucketing::BuffaloScheduler;
 use buffalo_graph::datasets::Dataset;
-use buffalo_memsim::{measure, CostModel, DeviceMemory, GnnShape};
+use buffalo_memsim::{CostModel, DeviceMemory, GnnShape, StageTimings};
 use buffalo_sampling::Batch;
-use buffalo_tensor::{softmax_cross_entropy, Adam, Optimizer, Tensor};
+use buffalo_tensor::{Adam, Optimizer, Tensor};
+use pipeline::{run_pipeline, MicroSpec, PipelineRequest};
 
 /// Configuration shared by both trainers.
 #[derive(Debug, Clone)]
@@ -39,14 +49,8 @@ pub struct IterationStats {
     pub num_micro_batches: usize,
     /// Peak simulated device memory over the iteration, bytes.
     pub peak_mem_bytes: u64,
-    /// Simulated device compute time, seconds.
-    pub sim_compute_seconds: f64,
-    /// Simulated host→device transfer time, seconds.
-    pub sim_transfer_seconds: f64,
-    /// Real wall-clock time spent generating blocks, seconds.
-    pub block_gen_seconds: f64,
-    /// Real wall-clock time spent scheduling (Buffalo only), seconds.
-    pub schedule_seconds: f64,
+    /// Per-stage timing breakdown, including the overlapped makespan.
+    pub timings: StageTimings,
 }
 
 /// Gathers the feature tensor for a (micro-)batch's innermost sources.
@@ -69,46 +73,6 @@ pub fn gather_labels(ds: &Dataset, batch: &Batch, dst_locals: &[u32]) -> Vec<u32
         .collect()
 }
 
-/// Runs forward + backward for one (micro-)batch against the simulated
-/// device, returning `(sum_loss, correct, compute_s, transfer_s)`.
-/// `grad_divisor` is the logical batch size for gradient normalization.
-#[allow(clippy::too_many_arguments)]
-fn step_micro_batch(
-    model: &mut GnnModel,
-    ds: &Dataset,
-    micro: &Batch,
-    shape: &GnnShape,
-    grad_divisor: usize,
-    device: &DeviceMemory,
-    cost: &CostModel,
-    block_gen_seconds: &mut f64,
-) -> Result<(f64, usize, f64, f64), TrainError> {
-    let t0 = std::time::Instant::now();
-    let blocks = generate_blocks_fast(
-        &micro.graph,
-        micro.num_seeds,
-        shape.num_layers,
-        GenerateOptions::default(),
-    );
-    *block_gen_seconds += t0.elapsed().as_secs_f64();
-    let mem = measure::training_memory(&blocks, shape);
-    let alloc = device.alloc(mem.total())?;
-    let features = gather_features(ds, micro, blocks[0].src_nodes());
-    let labels = gather_labels(ds, micro, blocks.last().unwrap().dst_nodes());
-    let (logits, cache) = model.forward(&blocks, &features);
-    let out = softmax_cross_entropy(&logits, &labels, Some(grad_divisor));
-    model.backward(&blocks, &cache, &out.dlogits);
-    device.free(alloc);
-    let compute = cost.training_seconds(&blocks, shape);
-    let transfer = cost.transfer_seconds(measure::transfer_bytes(&blocks, shape) as f64);
-    Ok((
-        out.loss as f64 * labels.len() as f64,
-        out.correct,
-        compute,
-        transfer,
-    ))
-}
-
 /// Algorithm 1: classic degree-bucketed training of the whole sampled
 /// batch — the single-GPU strategy of DGL/PyG. Fails with
 /// [`TrainError::Oom`] when the batch footprint exceeds the device budget,
@@ -119,19 +83,37 @@ pub struct FullBatchTrainer {
     pub model: GnnModel,
     config: TrainConfig,
     opt: Adam,
+    pipeline: PipelineConfig,
 }
 
 impl FullBatchTrainer {
-    /// Creates a trainer with a fresh model.
+    /// Creates a trainer with a fresh model (serial staging — a whole
+    /// batch is one micro-batch, so there is nothing to overlap).
     pub fn new(config: TrainConfig) -> Self {
         let model = GnnModel::for_shape(&config.shape, config.seed);
         let opt = Adam::new(config.lr);
-        FullBatchTrainer { model, config, opt }
+        FullBatchTrainer {
+            model,
+            config,
+            opt,
+            pipeline: PipelineConfig::serial(),
+        }
     }
 
     /// The training configuration.
     pub fn config(&self) -> &TrainConfig {
         &self.config
+    }
+
+    /// Sets the pipeline configuration.
+    pub fn set_pipeline(&mut self, pipeline: PipelineConfig) {
+        self.pipeline = pipeline;
+    }
+
+    /// Builder-style [`set_pipeline`](Self::set_pipeline).
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
     }
 
     /// Trains one iteration on `batch`.
@@ -149,27 +131,27 @@ impl FullBatchTrainer {
         device.free_all();
         device.reset_peak();
         self.model.zero_grad();
-        let mut block_gen = 0.0;
-        let (loss_sum, correct, compute, transfer) = step_micro_batch(
+        let outcome = run_pipeline(
             &mut self.model,
-            ds,
-            batch,
-            &self.config.shape,
-            batch.num_seeds,
-            device,
-            cost,
-            &mut block_gen,
+            PipelineRequest {
+                ds,
+                batch,
+                specs: &[MicroSpec::Whole],
+                shape: &self.config.shape,
+                grad_divisor: batch.num_seeds,
+                device,
+                cost,
+                pipeline: self.pipeline,
+                schedule_seconds: 0.0,
+            },
         )?;
         self.opt.step(&mut self.model.params_mut());
         Ok(IterationStats {
-            loss: (loss_sum / batch.num_seeds as f64) as f32,
-            accuracy: correct as f32 / batch.num_seeds as f32,
-            num_micro_batches: 1,
+            loss: (outcome.loss_sum / batch.num_seeds as f64) as f32,
+            accuracy: outcome.correct as f32 / batch.num_seeds as f32,
+            num_micro_batches: outcome.micro_batches,
             peak_mem_bytes: device.peak(),
-            sim_compute_seconds: compute,
-            sim_transfer_seconds: transfer,
-            block_gen_seconds: block_gen,
-            schedule_seconds: 0.0,
+            timings: outcome.timings,
         })
     }
 }
@@ -186,12 +168,14 @@ pub struct BuffaloTrainer {
     config: TrainConfig,
     opt: Adam,
     scheduler: BuffaloScheduler,
+    pipeline: PipelineConfig,
 }
 
 impl BuffaloTrainer {
-    /// Creates a trainer. `clustering` is the dataset's average clustering
-    /// coefficient `C` (Table II), consumed by the redundancy-aware memory
-    /// estimator.
+    /// Creates a trainer with serial staging. `clustering` is the
+    /// dataset's average clustering coefficient `C` (Table II), consumed
+    /// by the redundancy-aware memory estimator. Enable overlap with
+    /// [`with_pipeline`](Self::with_pipeline).
     pub fn new(config: TrainConfig, clustering: f64) -> Self {
         let model = GnnModel::for_shape(&config.shape, config.seed);
         let opt = Adam::new(config.lr);
@@ -202,12 +186,29 @@ impl BuffaloTrainer {
             config,
             opt,
             scheduler,
+            pipeline: PipelineConfig::serial(),
         }
     }
 
     /// The training configuration.
     pub fn config(&self) -> &TrainConfig {
         &self.config
+    }
+
+    /// The active pipeline configuration.
+    pub fn pipeline(&self) -> PipelineConfig {
+        self.pipeline
+    }
+
+    /// Sets the pipeline configuration.
+    pub fn set_pipeline(&mut self, pipeline: PipelineConfig) {
+        self.pipeline = pipeline;
+    }
+
+    /// Builder-style [`set_pipeline`](Self::set_pipeline).
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
     }
 
     /// Trains one iteration on `batch` under the device budget.
@@ -231,42 +232,35 @@ impl BuffaloTrainer {
             .schedule(&batch.graph, batch.num_seeds, device.budget())?;
         self.model.zero_grad();
         let total = batch.num_seeds;
-        let mut loss_sum = 0.0f64;
-        let mut correct = 0usize;
-        let mut compute = 0.0;
-        let mut transfer = 0.0;
-        let mut block_gen = 0.0;
-        let mut micro_batches = 0usize;
-        for group in plan.groups.iter().filter(|g| !g.is_empty()) {
-            let micro = batch.restrict_to_seeds(group);
-            let (l, c, t_c, t_t) = step_micro_batch(
-                &mut self.model,
+        let specs: Vec<MicroSpec<'_>> = plan
+            .groups
+            .iter()
+            .filter(|g| !g.is_empty())
+            .map(|g| MicroSpec::Seeds(g))
+            .collect();
+        let outcome = run_pipeline(
+            &mut self.model,
+            PipelineRequest {
                 ds,
-                &micro,
-                &self.config.shape,
-                total,
+                batch,
+                specs: &specs,
+                shape: &self.config.shape,
+                grad_divisor: total,
                 device,
                 cost,
-                &mut block_gen,
-            )?;
-            loss_sum += l;
-            correct += c;
-            compute += t_c;
-            transfer += t_t;
-            micro_batches += 1;
-        }
+                pipeline: self.pipeline,
+                schedule_seconds: plan.scheduling_time.as_secs_f64(),
+            },
+        )?;
         // One optimizer step after all partial gradients accumulated
         // (Algorithm 2 line 13).
         self.opt.step(&mut self.model.params_mut());
         Ok(IterationStats {
-            loss: (loss_sum / total as f64) as f32,
-            accuracy: correct as f32 / total as f32,
-            num_micro_batches: micro_batches,
+            loss: (outcome.loss_sum / total as f64) as f32,
+            accuracy: outcome.correct as f32 / total as f32,
+            num_micro_batches: outcome.micro_batches,
             peak_mem_bytes: device.peak(),
-            sim_compute_seconds: compute,
-            sim_transfer_seconds: transfer,
-            block_gen_seconds: block_gen,
-            schedule_seconds: plan.scheduling_time.as_secs_f64(),
+            timings: outcome.timings,
         })
     }
 }
@@ -274,8 +268,9 @@ impl BuffaloTrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use buffalo_blocks::{generate_blocks_fast, GenerateOptions};
     use buffalo_graph::datasets::{self, DatasetName};
-    use buffalo_memsim::AggregatorKind;
+    use buffalo_memsim::{measure, AggregatorKind};
     use buffalo_sampling::BatchSampler;
 
     fn small_setup() -> (Dataset, Batch, TrainConfig) {
@@ -283,12 +278,25 @@ mod tests {
         let seeds: Vec<u32> = (0..64).collect();
         let batch = BatchSampler::new(vec![5, 5]).sample(&ds.graph, &seeds, 3);
         let config = TrainConfig {
-            shape: GnnShape::new(ds.spec.feat_dim, 16, 2, ds.spec.num_classes, AggregatorKind::Mean),
+            shape: GnnShape::new(
+                ds.spec.feat_dim,
+                16,
+                2,
+                ds.spec.num_classes,
+                AggregatorKind::Mean,
+            ),
             fanouts: vec![5, 5],
             lr: 0.01,
             seed: 99,
         };
         (ds, batch, config)
+    }
+
+    /// A budget that forces the Buffalo scheduler to split this batch.
+    fn splitting_budget(batch: &Batch, shape: &GnnShape) -> u64 {
+        let blocks =
+            generate_blocks_fast(&batch.graph, batch.num_seeds, 2, GenerateOptions::default());
+        measure::training_memory(&blocks, shape).total() * 3 / 4
     }
 
     #[test]
@@ -314,6 +322,8 @@ mod tests {
         );
         assert_eq!(last.num_micro_batches, 1);
         assert!(last.peak_mem_bytes > 0);
+        // A single micro-batch cannot overlap with anything.
+        assert!((last.timings.overlapped_makespan - last.timings.serial_sum()).abs() < 1e-12);
     }
 
     #[test]
@@ -337,14 +347,7 @@ mod tests {
         let mut buffalo = BuffaloTrainer::new(config, 0.24);
         // Force Buffalo into multiple micro-batches with a small budget
         // that the full batch would not fit.
-        let blocks = generate_blocks_fast(
-            &batch.graph,
-            batch.num_seeds,
-            2,
-            GenerateOptions::default(),
-        );
-        let whole = measure::training_memory(&blocks, &full.config.shape).total();
-        let small = DeviceMemory::new(whole * 3 / 4);
+        let small = DeviceMemory::new(splitting_budget(&batch, &full.config.shape));
         for i in 0..5 {
             let sf = full.train_iteration(&ds, &batch, &big, &cost).unwrap();
             let sb = buffalo.train_iteration(&ds, &batch, &small, &cost).unwrap();
@@ -359,6 +362,127 @@ mod tests {
                 sb.loss
             );
         }
+    }
+
+    #[test]
+    fn pipelined_losses_are_bit_identical_to_serial() {
+        // Satellite requirement: the pipelined trainer must match the
+        // serial path bit-for-bit on losses and accuracy over >= 5
+        // iterations — in-order Execute preserves the gradient
+        // accumulation order exactly.
+        let (ds, batch, config) = small_setup();
+        let cost = CostModel::rtx6000();
+        let budget = splitting_budget(&batch, &config.shape);
+        let mut serial = BuffaloTrainer::new(config.clone(), 0.24);
+        let mut pipelined =
+            BuffaloTrainer::new(config, 0.24).with_pipeline(PipelineConfig::overlapped());
+        let dev_s = DeviceMemory::new(budget);
+        let dev_p = DeviceMemory::new(budget);
+        for i in 0..6 {
+            let a = serial.train_iteration(&ds, &batch, &dev_s, &cost).unwrap();
+            let b = pipelined
+                .train_iteration(&ds, &batch, &dev_p, &cost)
+                .unwrap();
+            assert!(a.num_micro_batches > 1, "budget did not force split");
+            assert_eq!(a.num_micro_batches, b.num_micro_batches, "iter {i}");
+            assert_eq!(
+                a.loss.to_bits(),
+                b.loss.to_bits(),
+                "iter {i}: serial loss {} != pipelined loss {}",
+                a.loss,
+                b.loss
+            );
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits(), "iter {i}");
+        }
+    }
+
+    #[test]
+    fn pipelined_makespan_beats_serial_sum() {
+        let (ds, batch, config) = small_setup();
+        let cost = CostModel::rtx6000();
+        let budget = splitting_budget(&batch, &config.shape);
+        let device = DeviceMemory::new(budget);
+        let mut trainer =
+            BuffaloTrainer::new(config, 0.24).with_pipeline(PipelineConfig::overlapped());
+        let stats = trainer
+            .train_iteration(&ds, &batch, &device, &cost)
+            .unwrap();
+        assert!(stats.num_micro_batches > 1);
+        let t = &stats.timings;
+        assert!(
+            t.overlapped_makespan < t.serial_sum(),
+            "overlap {} should beat serial {}",
+            t.overlapped_makespan,
+            t.serial_sum()
+        );
+        assert!(t.overlapped_makespan >= t.max_stage() - 1e-12);
+    }
+
+    #[test]
+    fn double_buffering_keeps_two_micro_batches_resident() {
+        // Drive run_pipeline with hand-made seed groups on a roomy device:
+        // the overlapped executor holds the previous micro-batch until the
+        // next one lands, so its peak must show two resident micro-batches
+        // where serial residency shows one.
+        let (ds, batch, config) = small_setup();
+        let cost = CostModel::rtx6000();
+        let groups: Vec<Vec<u32>> = (0u32..4)
+            .map(|g| (g * 16..(g + 1) * 16).collect())
+            .collect();
+        let specs: Vec<pipeline::MicroSpec<'_>> = groups
+            .iter()
+            .map(|g| pipeline::MicroSpec::Seeds(g))
+            .collect();
+        let run = |cfg: PipelineConfig| {
+            let device = DeviceMemory::with_gib(24.0);
+            let mut model = GnnModel::for_shape(&config.shape, config.seed);
+            model.zero_grad();
+            pipeline::run_pipeline(
+                &mut model,
+                pipeline::PipelineRequest {
+                    ds: &ds,
+                    batch: &batch,
+                    specs: &specs,
+                    shape: &config.shape,
+                    grad_divisor: batch.num_seeds,
+                    device: &device,
+                    cost: &cost,
+                    pipeline: cfg,
+                    schedule_seconds: 0.0,
+                },
+            )
+            .unwrap();
+            device.peak()
+        };
+        let serial_peak = run(PipelineConfig::serial());
+        let overlapped_peak = run(PipelineConfig::overlapped());
+        assert!(
+            overlapped_peak > serial_peak,
+            "double-buffered peak {overlapped_peak} should exceed serial peak {serial_peak}"
+        );
+        assert!(overlapped_peak <= DeviceMemory::with_gib(24.0).budget());
+    }
+
+    #[test]
+    fn pipelined_oom_falls_back_to_serial_residency() {
+        // With a budget that fits each micro-batch but not two at once,
+        // the double-buffered executor must degrade gracefully instead of
+        // faulting — and still match serial losses bit-for-bit.
+        let (ds, batch, config) = small_setup();
+        let cost = CostModel::rtx6000();
+        let budget = splitting_budget(&batch, &config.shape);
+        let dev_s = DeviceMemory::new(budget);
+        let dev_p = DeviceMemory::new(budget);
+        let mut serial = BuffaloTrainer::new(config.clone(), 0.24);
+        let mut pipelined =
+            BuffaloTrainer::new(config, 0.24).with_pipeline(PipelineConfig::overlapped());
+        let a = serial.train_iteration(&ds, &batch, &dev_s, &cost).unwrap();
+        let b = pipelined
+            .train_iteration(&ds, &batch, &dev_p, &cost)
+            .unwrap();
+        assert!(b.num_micro_batches > 1);
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        assert!(b.peak_mem_bytes <= dev_p.budget());
     }
 
     #[test]

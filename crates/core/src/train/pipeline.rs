@@ -1,0 +1,353 @@
+//! The staged micro-batch pipeline engine.
+//!
+//! One training iteration is split into two stages:
+//!
+//! * **Prepare** (CPU): seed restriction → fast block generation →
+//!   feature/label gather, producing a [`PreparedBlocks`] handle per
+//!   micro-batch. When the pipeline is enabled this stage runs on a worker
+//!   thread feeding a bounded channel.
+//! * **Execute** (simulated device): allocate → forward/backward → free,
+//!   consuming prepared micro-batches strictly in submission order on the
+//!   caller's thread.
+//!
+//! Because Execute is in-order and single-threaded, gradient accumulation
+//! happens in exactly the same order as the serial path — pipelined and
+//! serial training produce **bit-identical** losses. The pipeline only
+//! changes *when* CPU preparation happens (overlapped with device work of
+//! the previous micro-batch) and *how long* micro-batch tensors stay
+//! resident on the simulated device (double-buffered: the previous
+//! allocation is released only after the next one lands, falling back to
+//! serial residency when both do not fit).
+
+use crate::models::GnnModel;
+use crate::TrainError;
+use buffalo_blocks::{GenerateOptions, PreparedBlocks};
+use buffalo_graph::datasets::Dataset;
+use buffalo_graph::NodeId;
+use buffalo_memsim::{
+    measure, AllocId, CostModel, DeviceMemory, DeviceTimeline, GnnShape, StageTimings,
+};
+use buffalo_sampling::Batch;
+use buffalo_tensor::{softmax_cross_entropy, Tensor};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// How a trainer schedules its Prepare and Execute stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Whether preparation of micro-batch *i + 1* overlaps device
+    /// execution of micro-batch *i*.
+    pub enabled: bool,
+    /// Maximum micro-batches in flight between prepare-start and device
+    /// completion when enabled (2 = double buffering). Values below 2 are
+    /// treated as 2; serial execution is expressed via `enabled: false`.
+    pub depth: usize,
+}
+
+impl PipelineConfig {
+    /// Strictly serial staging — the classic one-micro-batch-at-a-time
+    /// loop. This is the default.
+    pub fn serial() -> Self {
+        PipelineConfig {
+            enabled: false,
+            depth: 1,
+        }
+    }
+
+    /// Double-buffered overlap of Prepare and Execute.
+    pub fn overlapped() -> Self {
+        PipelineConfig {
+            enabled: true,
+            depth: 2,
+        }
+    }
+
+    /// The pipeline depth actually used: 1 when disabled, at least 2 when
+    /// enabled.
+    pub fn effective_depth(&self) -> usize {
+        if self.enabled {
+            self.depth.max(2)
+        } else {
+            1
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::serial()
+    }
+}
+
+/// What one iteration's Execute stage accumulated.
+#[derive(Debug, Clone)]
+pub(crate) struct PipelineOutcome {
+    /// Summed (un-normalized) loss over all output nodes.
+    pub loss_sum: f64,
+    /// Correctly classified output nodes.
+    pub correct: usize,
+    /// Micro-batches executed.
+    pub micro_batches: usize,
+    /// Full timing breakdown, including the overlapped makespan.
+    pub timings: StageTimings,
+}
+
+/// One work item for the Prepare stage.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MicroSpec<'a> {
+    /// Train on the whole sampled batch (Algorithm 1).
+    Whole,
+    /// Restrict the batch to these seed ids first (Algorithm 2).
+    Seeds(&'a [NodeId]),
+}
+
+/// Runs the full Prepare stage for one micro-batch. Returns the handle
+/// plus the seconds spent on seed restriction (reported as part of block
+/// generation — both are graph-structure work).
+fn prepare_one(
+    ds: &Dataset,
+    batch: &Batch,
+    spec: MicroSpec<'_>,
+    num_layers: usize,
+) -> (f64, PreparedBlocks) {
+    let t0 = Instant::now();
+    let restricted;
+    let micro: &Batch = match spec {
+        MicroSpec::Whole => batch,
+        MicroSpec::Seeds(group) => {
+            restricted = batch.restrict_to_seeds(group);
+            &restricted
+        }
+    };
+    let restrict_seconds = t0.elapsed().as_secs_f64();
+    let mut prepared = PreparedBlocks::generate(
+        &micro.graph,
+        micro.num_seeds,
+        num_layers,
+        GenerateOptions::default(),
+    );
+    let dim = ds.spec.feat_dim;
+    let t1 = Instant::now();
+    let globals: Vec<u32> = prepared
+        .input_srcs()
+        .iter()
+        .map(|&l| micro.global_ids[l as usize])
+        .collect();
+    let mut features = vec![0.0f32; globals.len() * dim];
+    ds.gather_features(&globals, &mut features);
+    prepared.set_features(features, dim, t1.elapsed().as_secs_f64());
+    let t2 = Instant::now();
+    let labels: Vec<u32> = prepared
+        .output_dsts()
+        .iter()
+        .map(|&l| ds.label(micro.global_ids[l as usize]))
+        .collect();
+    prepared.set_labels(labels, t2.elapsed().as_secs_f64());
+    (restrict_seconds, prepared)
+}
+
+/// Device residency policy for the Execute stage.
+///
+/// Serial: each micro-batch's allocation is released as soon as its
+/// backward pass finishes. Double-buffered: the allocation is held until
+/// the *next* micro-batch's allocation succeeds (its tensors land while
+/// the previous one computes), so two prepared micro-batches are resident
+/// at once; when both do not fit the budget, the policy degrades to serial
+/// residency for that handoff instead of faulting.
+struct Residency<'d> {
+    device: &'d DeviceMemory,
+    double_buffer: bool,
+    held: Option<AllocId>,
+}
+
+impl<'d> Residency<'d> {
+    fn new(device: &'d DeviceMemory, double_buffer: bool) -> Self {
+        Residency {
+            device,
+            double_buffer,
+            held: None,
+        }
+    }
+
+    fn acquire(&mut self, bytes: u64) -> Result<(), TrainError> {
+        if !self.double_buffer {
+            self.held = Some(self.device.alloc(bytes)?);
+            return Ok(());
+        }
+        match self.device.alloc(bytes) {
+            Ok(id) => {
+                if let Some(prev) = self.held.take() {
+                    self.device.free(prev);
+                }
+                self.held = Some(id);
+                Ok(())
+            }
+            Err(oom) => {
+                // Both micro-batches do not fit together: release the
+                // previous one first and retry once, serial-style.
+                match self.held.take() {
+                    Some(prev) => {
+                        self.device.free(prev);
+                        self.held = Some(self.device.alloc(bytes)?);
+                        Ok(())
+                    }
+                    None => Err(oom.into()),
+                }
+            }
+        }
+    }
+
+    fn release_after_step(&mut self) {
+        if !self.double_buffer {
+            if let Some(id) = self.held.take() {
+                self.device.free(id);
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        if let Some(id) = self.held.take() {
+            self.device.free(id);
+        }
+    }
+}
+
+/// Runs the Execute stage for one prepared micro-batch: allocate, forward,
+/// loss, backward. Returns `(loss_sum, correct, compute_s, transfer_s)`.
+fn execute_one(
+    model: &mut GnnModel,
+    prepared: PreparedBlocks,
+    shape: &GnnShape,
+    grad_divisor: usize,
+    cost: &CostModel,
+    residency: &mut Residency<'_>,
+) -> Result<(f64, usize, f64, f64), TrainError> {
+    let (blocks, features, feat_dim, labels) = prepared.into_parts();
+    let mem = measure::training_memory(&blocks, shape);
+    residency.acquire(mem.total())?;
+    let features = Tensor::from_vec(features.len() / feat_dim, feat_dim, features);
+    let (logits, cache) = model.forward(&blocks, &features);
+    let out = softmax_cross_entropy(&logits, &labels, Some(grad_divisor));
+    model.backward(&blocks, &cache, &out.dlogits);
+    residency.release_after_step();
+    let compute = cost.training_seconds(&blocks, shape);
+    let transfer = cost.transfer_seconds(measure::transfer_bytes(&blocks, shape) as f64);
+    Ok((
+        out.loss as f64 * labels.len() as f64,
+        out.correct,
+        compute,
+        transfer,
+    ))
+}
+
+/// Everything one iteration's pipeline run needs besides the model: the
+/// data source, the work list, and the execution environment.
+pub(crate) struct PipelineRequest<'a> {
+    /// The dataset supplying features and labels.
+    pub ds: &'a Dataset,
+    /// The sampled batch the specs refer into.
+    pub batch: &'a Batch,
+    /// One entry per micro-batch, in gradient-accumulation order.
+    pub specs: &'a [MicroSpec<'a>],
+    /// Model shape (for memory/cost accounting).
+    pub shape: &'a GnnShape,
+    /// Loss-gradient divisor (total output nodes of the iteration).
+    pub grad_divisor: usize,
+    /// The simulated device to allocate on.
+    pub device: &'a DeviceMemory,
+    /// The device cost model.
+    pub cost: &'a CostModel,
+    /// Staging mode.
+    pub pipeline: PipelineConfig,
+    /// Serial scheduling prefix, seconds — it cannot overlap (the plan
+    /// must exist before the first micro-batch can be prepared) and is
+    /// folded into the reported timings.
+    pub schedule_seconds: f64,
+}
+
+/// Runs one iteration's micro-batches through the Prepare/Execute
+/// pipeline, accumulating gradients into `model` in spec order.
+pub(crate) fn run_pipeline(
+    model: &mut GnnModel,
+    req: PipelineRequest<'_>,
+) -> Result<PipelineOutcome, TrainError> {
+    let PipelineRequest {
+        ds,
+        batch,
+        specs,
+        shape,
+        grad_divisor,
+        device,
+        cost,
+        pipeline,
+        schedule_seconds,
+    } = req;
+    let depth = pipeline.effective_depth().min(specs.len().max(1));
+    let num_layers = shape.num_layers;
+    let mut timeline = DeviceTimeline::new(depth);
+    let mut residency = Residency::new(device, depth > 1);
+    let mut timings = StageTimings {
+        schedule_seconds,
+        ..StageTimings::default()
+    };
+    let mut loss_sum = 0.0f64;
+    let mut correct = 0usize;
+    let mut micro_batches = 0usize;
+    // Consumes one prepared micro-batch, folding its stage times into the
+    // timeline. Shared by both execution modes so they stay bit-identical.
+    let mut consume = |model: &mut GnnModel,
+                       residency: &mut Residency<'_>,
+                       restrict_s: f64,
+                       prepared: PreparedBlocks|
+     -> Result<(), TrainError> {
+        let block_gen = restrict_s + prepared.block_gen_seconds();
+        let gather = prepared.gather_seconds();
+        let (l, c, compute, transfer) =
+            execute_one(model, prepared, shape, grad_divisor, cost, residency)?;
+        timeline.record(block_gen + gather, compute + transfer);
+        timings.block_gen_seconds += block_gen;
+        timings.gather_seconds += gather;
+        timings.sim_compute_seconds += compute;
+        timings.sim_transfer_seconds += transfer;
+        loss_sum += l;
+        correct += c;
+        micro_batches += 1;
+        Ok(())
+    };
+    if depth <= 1 {
+        for &spec in specs {
+            let (restrict_s, prepared) = prepare_one(ds, batch, spec, num_layers);
+            consume(model, &mut residency, restrict_s, prepared)?;
+        }
+    } else {
+        let result: Result<(), TrainError> = std::thread::scope(|s| {
+            // Bounded channel: the producer stays at most `depth - 1`
+            // prepared-but-unconsumed micro-batches ahead (host-side
+            // staging); device residency is capped separately at two
+            // allocations by `Residency`.
+            let (tx, rx) = mpsc::sync_channel::<(f64, PreparedBlocks)>(depth - 1);
+            s.spawn(move || {
+                for &spec in specs {
+                    let item = prepare_one(ds, batch, spec, num_layers);
+                    // The consumer hit an error and hung up: stop preparing.
+                    if tx.send(item).is_err() {
+                        break;
+                    }
+                }
+            });
+            for (restrict_s, prepared) in rx {
+                consume(model, &mut residency, restrict_s, prepared)?;
+            }
+            Ok(())
+        });
+        result?;
+    }
+    residency.finish();
+    timings.overlapped_makespan = schedule_seconds + timeline.makespan();
+    Ok(PipelineOutcome {
+        loss_sum,
+        correct,
+        micro_batches,
+        timings,
+    })
+}

@@ -38,9 +38,7 @@ impl EquivalenceReport {
     /// Whether the two strategies computed the same gradients within f32
     /// reassociation noise.
     pub fn equivalent(&self) -> bool {
-        self.micro_batches > 1
-            && self.max_grad_divergence < 5e-3
-            && self.loss_divergence < 1e-4
+        self.micro_batches > 1 && self.max_grad_divergence < 5e-3 && self.loss_divergence < 1e-4
     }
 }
 
@@ -53,8 +51,12 @@ fn accumulate(
     depth: usize,
     divisor: usize,
 ) -> f64 {
-    let blocks =
-        generate_blocks_fast(&batch.graph, batch.num_seeds, depth, GenerateOptions::default());
+    let blocks = generate_blocks_fast(
+        &batch.graph,
+        batch.num_seeds,
+        depth,
+        GenerateOptions::default(),
+    );
     let features = gather_features(ds, batch, blocks[0].src_nodes());
     let labels = gather_labels(ds, batch, blocks.last().unwrap().dst_nodes());
     let (logits, cache) = model.forward(&blocks, &features);
@@ -83,8 +85,7 @@ pub fn verify_gradient_equivalence(
     whole.zero_grad();
     let whole_loss = accumulate(&mut whole, ds, batch, depth, n) / n as f64;
     // Micro-batch gradient accumulation over a Buffalo plan.
-    let scheduler =
-        BuffaloScheduler::new(config.shape.clone(), config.fanouts.clone(), clustering);
+    let scheduler = BuffaloScheduler::new(config.shape.clone(), config.fanouts.clone(), clustering);
     let plan = scheduler.schedule(&batch.graph, batch.num_seeds, budget_bytes)?;
     let mut micro = GnnModel::for_shape(&config.shape, config.seed);
     micro.zero_grad();
@@ -133,27 +134,22 @@ mod tests {
     fn setup(aggregator: AggregatorKind) -> (Dataset, Batch, TrainConfig, u64) {
         let ds = datasets::load(DatasetName::OgbnArxiv, 13);
         let seeds: Vec<u32> = (0..96).collect();
-        let batch = BatchSampler::new(vec![4, 6]).sample(&ds.graph, &seeds, 7);
+        let batch = BatchSampler::new(vec![4, 6]).sample(&ds.graph, &seeds, 11);
         let config = TrainConfig {
             shape: GnnShape::new(ds.spec.feat_dim, 16, 2, ds.spec.num_classes, aggregator),
             fanouts: vec![4, 6],
             lr: 0.02,
             seed: 5,
         };
-        let blocks = generate_blocks_fast(
-            &batch.graph,
-            batch.num_seeds,
-            2,
-            GenerateOptions::default(),
-        );
+        let blocks =
+            generate_blocks_fast(&batch.graph, batch.num_seeds, 2, GenerateOptions::default());
         let whole = measure::training_memory(&blocks, &config.shape).total();
         (ds, batch, config, whole * 7 / 10)
     }
 
     fn check(aggregator: AggregatorKind) {
         let (ds, batch, config, budget) = setup(aggregator);
-        let report =
-            verify_gradient_equivalence(&ds, &batch, &config, 0.2, budget).unwrap();
+        let report = verify_gradient_equivalence(&ds, &batch, &config, 0.2, budget).unwrap();
         assert!(
             report.micro_batches > 1,
             "{aggregator:?}: budget did not force a split"
@@ -204,6 +200,9 @@ mod tests {
                 worst = worst.max((u - v).abs() as f64 / (1e-6 + u.abs().max(v.abs()) as f64));
             }
         }
-        assert!(worst > 1e-2, "different models must produce different grads");
+        assert!(
+            worst > 1e-2,
+            "different models must produce different grads"
+        );
     }
 }

@@ -91,7 +91,7 @@ impl CsrGraph {
 
     /// Iterator over all node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.num_nodes() as NodeId).into_iter()
+        0..self.num_nodes() as NodeId
     }
 
     /// The raw offsets array (length `num_nodes + 1`).

@@ -31,7 +31,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// The six datasets of Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DatasetName {
     /// Cora citation graph (2.7 K nodes).
     Cora,
@@ -221,7 +222,10 @@ pub fn spec(name: DatasetName) -> DatasetSpec {
             num_classes: 40,
             nodes: 84_500,
             scale_factor: 2,
-            recipe: Recipe::PowerLaw { m: 7, triad_p: 0.85 },
+            recipe: Recipe::PowerLaw {
+                m: 7,
+                triad_p: 0.85,
+            },
         },
         DatasetName::OgbnProducts => DatasetSpec {
             name,
@@ -276,9 +280,8 @@ impl Dataset {
     /// classification task is learnable.
     pub fn feature_row(&self, node: NodeId) -> Vec<f32> {
         let dim = self.spec.feat_dim;
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let class = self.label(node) as usize;
         let proto = &self.prototypes[class * dim..(class + 1) * dim];
         (0..dim)
@@ -331,8 +334,7 @@ pub fn load(name: DatasetName, seed: u64) -> Dataset {
             generators::watts_strogatz(spec.nodes, k, beta, seed).expect("catalog recipe valid")
         }
         Recipe::PowerLaw { m, triad_p } => {
-            generators::barabasi_albert(spec.nodes, m, triad_p, seed)
-                .expect("catalog recipe valid")
+            generators::barabasi_albert(spec.nodes, m, triad_p, seed).expect("catalog recipe valid")
         }
         Recipe::Community {
             community_size,
@@ -400,7 +402,11 @@ mod tests {
     fn arxiv_is_power_law_with_matching_degree() {
         let ds = load(DatasetName::OgbnArxiv, 2);
         let s = stats::summarize(&ds.graph, 2);
-        assert!((s.avg_degree - 13.7).abs() < 1.5, "avg deg {}", s.avg_degree);
+        assert!(
+            (s.avg_degree - 13.7).abs() < 1.5,
+            "avg deg {}",
+            s.avg_degree
+        );
         assert!(s.power_law, "arxiv stand-in must have a power-law tail");
     }
 
@@ -446,10 +452,7 @@ mod tests {
         let mut out = vec![0.0; nodes.len() * ds.spec.feat_dim];
         ds.gather_features(&nodes, &mut out);
         assert_eq!(&out[0..ds.spec.feat_dim], ds.feature_row(3).as_slice());
-        assert_eq!(
-            &out[2 * ds.spec.feat_dim..],
-            ds.feature_row(11).as_slice()
-        );
+        assert_eq!(&out[2 * ds.spec.feat_dim..], ds.feature_row(11).as_slice());
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Result<CsrGraph, GraphError> 
         let mut idx: f64 = -1.0;
         loop {
             let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            idx += if p >= 1.0 { 1.0 } else { 1.0 + (r.ln() / lq).floor() };
+            idx += if p >= 1.0 {
+                1.0
+            } else {
+                1.0 + (r.ln() / lq).floor()
+            };
             if idx >= total as f64 {
                 break;
             }
@@ -263,7 +267,10 @@ pub fn rmat(
     }
     let d = 1.0 - a - b - c;
     if a < 0.0 || b < 0.0 || c < 0.0 || d < -1e-9 {
-        return Err(invalid("a/b/c", "quadrant probabilities must be >= 0 and sum to <= 1"));
+        return Err(invalid(
+            "a/b/c",
+            "quadrant probabilities must be >= 0 and sum to <= 1",
+        ));
     }
     let levels = n.trailing_zeros();
     let mut rng = StdRng::seed_from_u64(seed);

@@ -84,7 +84,11 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<CsrGraph, GraphError> {
         }
         edges.push((s as NodeId, d as NodeId));
     }
-    let inferred = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let inferred = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let n = declared_nodes.unwrap_or(inferred).max(inferred);
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     b.extend_edges(edges);
@@ -123,7 +127,8 @@ pub fn read_binary<R: Read>(r: R) -> Result<CsrGraph, GraphError> {
     };
     let mut r = BufReader::new(r);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic).map_err(|_| invalid("truncated header"))?;
+    r.read_exact(&mut magic)
+        .map_err(|_| invalid("truncated header"))?;
     if &magic != MAGIC {
         return Err(invalid("bad magic"));
     }

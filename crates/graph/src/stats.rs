@@ -180,7 +180,7 @@ pub fn summarize(g: &CsrGraph, seed: u64) -> GraphSummary {
     } else {
         clustering_coefficient_sampled(g, 10_000, 50, seed)
     };
-    let power_law = fit_power_law(g, 5).map_or(false, |f| f.is_power_law());
+    let power_law = fit_power_law(g, 5).is_some_and(|f| f.is_power_law());
     GraphSummary {
         num_nodes: g.num_nodes(),
         num_edges: g.num_edges(),

@@ -10,7 +10,8 @@ use crate::shape::GnnShape;
 use buffalo_blocks::Block;
 
 /// Device characteristics for time simulation.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostModel {
     /// Peak sustained fp32 throughput in FLOP/s.
     pub flops_per_sec: f64,
@@ -175,8 +176,6 @@ mod tests {
             vec![0, 3, 6],
             vec![1, 2, 3, 2, 3, 0],
         )];
-        assert!(
-            training_forward_flops(&big, &shape) > training_forward_flops(&small, &shape)
-        );
+        assert!(training_forward_flops(&big, &shape) > training_forward_flops(&small, &shape));
     }
 }

@@ -1,9 +1,9 @@
 //! Budgeted device-memory simulator.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Handle to a live simulated allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,6 +86,13 @@ impl DeviceMemory {
         self.budget
     }
 
+    /// Mirrors `parking_lot` semantics: a panic while holding the lock
+    /// (e.g. a deliberate double-free abort) must not wedge the simulator
+    /// for other threads.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Attempts to allocate `bytes`.
     ///
     /// # Errors
@@ -93,7 +100,7 @@ impl DeviceMemory {
     /// Returns [`OomError`] if the allocation would exceed the budget. The
     /// pool is unchanged on failure.
     pub fn alloc(&self, bytes: u64) -> Result<AllocId, OomError> {
-        let mut st = self.state.lock();
+        let mut st = self.lock();
         if st.in_use + bytes > self.budget {
             return Err(OomError {
                 requested: bytes,
@@ -114,7 +121,7 @@ impl DeviceMemory {
     ///
     /// Panics on double-free or an id from another device.
     pub fn free(&self, id: AllocId) {
-        let mut st = self.state.lock();
+        let mut st = self.lock();
         let bytes = st
             .live
             .remove(&id.0)
@@ -124,31 +131,31 @@ impl DeviceMemory {
 
     /// Bytes currently allocated.
     pub fn in_use(&self) -> u64 {
-        self.state.lock().in_use
+        self.lock().in_use
     }
 
     /// High-water mark since creation or the last [`reset_peak`](Self::reset_peak).
     pub fn peak(&self) -> u64 {
-        self.state.lock().peak
+        self.lock().peak
     }
 
     /// Resets the peak to the current usage (call between iterations to get
     /// per-iteration peaks).
     pub fn reset_peak(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.lock();
         st.peak = st.in_use;
     }
 
     /// Frees everything (end of iteration / micro-batch teardown).
     pub fn free_all(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.lock();
         st.live.clear();
         st.in_use = 0;
     }
 
     /// Number of live allocations.
     pub fn live_allocations(&self) -> usize {
-        self.state.lock().live.len()
+        self.lock().live.len()
     }
 }
 

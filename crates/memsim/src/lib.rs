@@ -27,7 +27,9 @@ pub mod estimate;
 pub mod measure;
 mod shape;
 pub mod tiered;
+pub mod timeline;
 
 pub use cost::CostModel;
 pub use device::{AllocId, DeviceMemory, OomError};
 pub use shape::{AggregatorKind, GnnShape};
+pub use timeline::{DeviceTimeline, StageTimings};

@@ -83,12 +83,7 @@ mod tests {
     fn two_layer_blocks() -> Vec<Block> {
         // Output layer: dst {0}, src {0,1}; inner layer: dst {0,1}, src {0,1,2}
         let out = Block::from_parts(vec![0], vec![0, 1], vec![0, 1], vec![1]);
-        let inner = Block::from_parts(
-            vec![0, 1],
-            vec![0, 1, 2],
-            vec![0, 1, 3],
-            vec![1, 2, 0],
-        );
+        let inner = Block::from_parts(vec![0, 1], vec![0, 1, 2], vec![0, 1, 3], vec![1, 2, 0]);
         vec![inner, out]
     }
 

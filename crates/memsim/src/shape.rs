@@ -4,7 +4,8 @@
 /// Neighborhood aggregator kind (§II-A). The aggregator dominates working
 /// memory: LSTM keeps per-step gate activations for backprop, which is what
 /// pushes large graphs over the memory wall in Figure 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AggregatorKind {
     /// Element-wise mean of neighbor embeddings.
     Mean,
@@ -74,7 +75,8 @@ impl std::fmt::Display for AggregatorKind {
 /// Shape of a GNN for memory/compute accounting: layer dimensions and the
 /// aggregator. `layer_dims()[l] = (in_dim, out_dim)` for layer `l` (input
 /// layer first).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GnnShape {
     /// Input feature dimension.
     pub feat_dim: usize,

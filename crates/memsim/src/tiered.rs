@@ -61,7 +61,11 @@ pub fn plan_spill(breakdown: &MemoryBreakdown, cfg: &TieredConfig) -> SpillPlan 
     let mut budget = cfg.fast_bytes - pinned;
     let mut spilled = 0u64;
     // Spill order: features, then workspace, then activations.
-    for &portion in &[breakdown.features, breakdown.workspace, breakdown.activations] {
+    for &portion in &[
+        breakdown.features,
+        breakdown.workspace,
+        breakdown.activations,
+    ] {
         if portion <= budget {
             budget -= portion;
         } else {

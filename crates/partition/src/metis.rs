@@ -113,14 +113,26 @@ pub fn metis_kway(g: &CsrGraph, k: usize, options: MetisOptions) -> Vec<u32> {
     }
     // Initial partition on the coarsest graph.
     let mut parts = initial_partition(&current, k, options.epsilon);
-    refine(&current, &mut parts, k, options.epsilon, options.refine_passes);
+    refine(
+        &current,
+        &mut parts,
+        k,
+        options.epsilon,
+        options.refine_passes,
+    );
     // Uncoarsen with refinement at every level.
     while let Some((fine, map)) = levels.pop() {
         let mut fine_parts = vec![0u32; fine.num_nodes()];
         for (v, p) in fine_parts.iter_mut().enumerate() {
             *p = parts[map[v] as usize];
         }
-        refine(&fine, &mut fine_parts, k, options.epsilon, options.refine_passes);
+        refine(
+            &fine,
+            &mut fine_parts,
+            k,
+            options.epsilon,
+            options.refine_passes,
+        );
         parts = fine_parts;
     }
     parts
@@ -168,10 +180,8 @@ fn coarsen_once(g: &WGraph, rng_state: &mut u64) -> (WGraph, Vec<NodeId>) {
         // Heaviest incident edge to an unmatched neighbor.
         let mut best: Option<(NodeId, u64)> = None;
         for (u, w) in g.row(v) {
-            if u != v && matched[u as usize] == NodeId::MAX {
-                if best.map_or(true, |(_, bw)| w > bw) {
-                    best = Some((u, w));
-                }
+            if u != v && matched[u as usize] == NodeId::MAX && best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((u, w));
             }
         }
         match best {

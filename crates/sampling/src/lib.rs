@@ -74,7 +74,7 @@ impl Batch {
 
     /// Local ids of the output (seed) nodes.
     pub fn seed_locals(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.num_seeds as NodeId).into_iter()
+        0..self.num_seeds as NodeId
     }
 
     /// Restricts the batch to a subset of its seeds, re-sampling nothing:
@@ -192,8 +192,7 @@ impl BatchSampler {
         }
         let mut edges: Vec<(NodeId, NodeId)> = Vec::new(); // (src=in-neighbor, dst)
         let mut frontier: Vec<NodeId> = seeds.to_vec(); // original ids
-        let mut layer_frontiers: Vec<Vec<NodeId>> =
-            vec![(0..seeds.len() as NodeId).collect()];
+        let mut layer_frontiers: Vec<Vec<NodeId>> = vec![(0..seeds.len() as NodeId).collect()];
         for &fanout in &self.fanouts {
             let mut next_frontier: Vec<NodeId> = Vec::new();
             let mut next_locals: Vec<NodeId> = Vec::new();
@@ -434,7 +433,7 @@ mod tests {
     fn seed_batches_cover_everything_once() {
         let sb = SeedBatches::new(103, 10, 4);
         assert_eq!(sb.num_batches(), 11);
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for b in sb.iter() {
             for &v in b {
                 assert!(!seen[v as usize], "node {v} appears twice");

@@ -39,9 +39,9 @@ pub fn softmax_cross_entropy(
     let mut dlogits = Tensor::zeros(n, c);
     let mut loss = 0.0f64;
     let mut correct = 0usize;
-    for r in 0..n {
+    for (r, &raw_label) in labels.iter().enumerate() {
         let row = logits.row(r);
-        let label = labels[r] as usize;
+        let label = raw_label as usize;
         assert!(label < c, "label {label} out of range for {c} classes");
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;

@@ -336,7 +336,7 @@ mod tests {
         let a = t(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 3x2
         let b = t(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]); // 3x2
         let c = a.matmul_tn(&b); // (2x3)·(3x2)
-        // a^T = [[1,3,5],[2,4,6]]
+                                 // a^T = [[1,3,5],[2,4,6]]
         assert_eq!(c.data(), &[6.0, 8.0, 8.0, 10.0]);
     }
 

@@ -19,7 +19,11 @@ fn main() {
         ds.spec.scale_factor,
         ds.graph.num_edges()
     );
-    let zero_in = ds.graph.node_ids().filter(|&v| ds.graph.degree(v) == 0).count();
+    let zero_in = ds
+        .graph
+        .node_ids()
+        .filter(|&v| ds.graph.degree(v) == 0)
+        .count();
     println!("{zero_in} nodes have zero in-edges (never-cited papers)\n");
 
     let clustering = stats::clustering_coefficient_sampled(&ds.graph, 10_000, 50, 1);
@@ -32,7 +36,13 @@ fn main() {
         batch.num_edges()
     );
 
-    let shape = GnnShape::new(ds.spec.feat_dim, 1024, 2, ds.spec.num_classes, AggregatorKind::Lstm);
+    let shape = GnnShape::new(
+        ds.spec.feat_dim,
+        1024,
+        2,
+        ds.spec.num_classes,
+        AggregatorKind::Lstm,
+    );
     let ctx = SimContext {
         shape: &shape,
         fanouts: &[10, 25],

@@ -17,13 +17,7 @@ fn main() {
 
     for aggregator in [AggregatorKind::Mean, AggregatorKind::MaxPool] {
         let config = TrainConfig {
-            shape: GnnShape::new(
-                ds.spec.feat_dim,
-                32,
-                2,
-                ds.spec.num_classes,
-                aggregator,
-            ),
+            shape: GnnShape::new(ds.spec.feat_dim, 32, 2, ds.spec.num_classes, aggregator),
             fanouts: vec![5, 10],
             lr: 0.01,
             seed: 77,
@@ -31,16 +25,25 @@ fn main() {
         // Probe the whole-batch footprint, then squeeze Buffalo.
         let unlimited = DeviceMemory::new(u64::MAX);
         let mut probe = FullBatchTrainer::new(config.clone());
-        let whole = probe.train_iteration(&ds, &batch, &unlimited, &cost).unwrap();
+        let whole = probe
+            .train_iteration(&ds, &batch, &unlimited, &cost)
+            .unwrap();
         let budget = DeviceMemory::new(whole.peak_mem_bytes * 3 / 5);
 
         let mut full = FullBatchTrainer::new(config.clone());
         let mut buffalo = BuffaloTrainer::new(config, 0.06);
         println!("aggregator {aggregator}:");
-        println!("{:>5} {:>12} {:>12} {:>8}", "iter", "whole-batch", "micro-batch", "K");
+        println!(
+            "{:>5} {:>12} {:>12} {:>8}",
+            "iter", "whole-batch", "micro-batch", "K"
+        );
         for i in 0..12 {
-            let sf = full.train_iteration(&ds, &batch, &unlimited, &cost).unwrap();
-            let sb = buffalo.train_iteration(&ds, &batch, &budget, &cost).unwrap();
+            let sf = full
+                .train_iteration(&ds, &batch, &unlimited, &cost)
+                .unwrap();
+            let sb = buffalo
+                .train_iteration(&ds, &batch, &budget, &cost)
+                .unwrap();
             println!(
                 "{i:>5} {:>12.5} {:>12.5} {:>8}",
                 sf.loss, sb.loss, sb.num_micro_batches

@@ -22,7 +22,10 @@ fn main() {
     let cost = CostModel::rtx6000();
     let device = DeviceMemory::with_gib(24.0);
 
-    println!("{:<28} {:>14} {:>16}", "config", "whole batch", "with Buffalo");
+    println!(
+        "{:<28} {:>14} {:>16}",
+        "config", "whole batch", "with Buffalo"
+    );
     for (label, aggregator, hidden) in [
         ("mean, hidden 256", AggregatorKind::Mean, 256),
         ("max-pool, hidden 256", AggregatorKind::MaxPool, 256),

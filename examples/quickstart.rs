@@ -31,7 +31,13 @@ fn main() {
 
     // 3. Configure a 2-layer GraphSAGE model with a mean aggregator.
     let config = TrainConfig {
-        shape: GnnShape::new(ds.spec.feat_dim, 32, 2, ds.spec.num_classes, AggregatorKind::Mean),
+        shape: GnnShape::new(
+            ds.spec.feat_dim,
+            32,
+            2,
+            ds.spec.num_classes,
+            AggregatorKind::Mean,
+        ),
         fanouts: vec![5, 10],
         lr: 0.01,
         seed: 1,

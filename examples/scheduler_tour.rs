@@ -18,7 +18,13 @@ fn main() {
     let clustering = stats::clustering_coefficient_sampled(&ds.graph, 10_000, 50, 1);
     let seeds = SeedBatches::new(ds.graph.num_nodes(), 8_192, 1);
     let batch = BatchSampler::new(vec![10, 25]).sample(&ds.graph, seeds.batch(0), 2);
-    let shape = GnnShape::new(ds.spec.feat_dim, 256, 2, ds.spec.num_classes, AggregatorKind::Lstm);
+    let shape = GnnShape::new(
+        ds.spec.feat_dim,
+        256,
+        2,
+        ds.spec.num_classes,
+        AggregatorKind::Lstm,
+    );
 
     // Step 1: degree bucketing at the output layer (cut-off F = 10).
     let buckets = degree_bucketing(&batch.graph, batch.num_seeds, 10);
@@ -53,7 +59,10 @@ fn main() {
         &mut scratch,
     );
     let whole_mem = mem_from_counts(&whole, &shape);
-    println!("\nstep 3 — whole batch needs {:.1} MB; scheduling:", whole_mem as f64 / 1e6);
+    println!(
+        "\nstep 3 — whole batch needs {:.1} MB; scheduling:",
+        whole_mem as f64 / 1e6
+    );
     let scheduler = BuffaloScheduler::new(shape, vec![10, 25], clustering);
     for divisor in [1u64, 2, 4, 8] {
         let budget = whole_mem / divisor + 1;

@@ -1,0 +1,197 @@
+//! Hermetic in-tree stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace's `benches/` use: `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], and the `criterion_group!` / `criterion_main!` macros.
+//! Measurement is a simple mean over `sample_size` timed runs (after one
+//! warm-up run) printed to stdout — no statistics, plotting, or HTML
+//! reports. When the harness is invoked without the `--bench` argument
+//! (i.e. by `cargo test`, which compiles bench targets and runs them in
+//! test mode) the benchmarks are skipped so the test suite stays fast.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group, mirroring criterion's
+/// `function_name/parameter` naming.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    mean_seconds: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once to warm up and then `sample_size`
+    /// measured times; the mean is reported by the caller.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean_seconds = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many measured runs each benchmark performs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean_seconds: 0.0,
+        };
+        f(&mut b);
+        println!(
+            "{}/{:<40} mean {:>12.6} ms ({} samples)",
+            self.name,
+            id,
+            b.mean_seconds * 1e3,
+            self.sample_size,
+        );
+    }
+
+    /// Runs one benchmark named `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        if self.criterion.enabled {
+            self.run_one(&id.to_string(), f);
+        }
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        if self.criterion.enabled {
+            self.run_one(&id.to_string(), |b| f(b, input));
+        }
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager passed to each `criterion_group!` function.
+pub struct Criterion {
+    enabled: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes real bench runs as `<harness> --bench`; plain
+        // `cargo test` runs the same binary without it.
+        let enabled = std::env::args().any(|a| a == "--bench");
+        Criterion { enabled }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench harness entry point. Benchmarks only run when the
+/// binary is invoked with `--bench` (as `cargo bench` does); under
+/// `cargo test` the harness exits immediately.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_harness_skips_benchmarks() {
+        // Under `cargo test` there is no `--bench` argument, so closures
+        // must not run.
+        let mut c = Criterion::default();
+        assert!(!c.enabled);
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("f", |_b| ran = true);
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn enabled_harness_times_runs() {
+        let mut c = Criterion { enabled: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 1), &5u32, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        // 1 warm-up + 2 samples.
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn benchmark_id_renders_as_path() {
+        assert_eq!(BenchmarkId::new("fast", 1000).to_string(), "fast/1000");
+    }
+}

@@ -1,0 +1,18 @@
+//! Hermetic in-tree stand-in for `serde`.
+//!
+//! Provides marker traits and (behind the `derive` feature) no-op derive
+//! macros, so types can stay annotated with
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, ...))]` without
+//! the workspace depending on crates.io. No runtime
+//! serialization is implemented — nothing in this workspace serializes.
+
+#![warn(missing_docs)]
+
+/// Marker for types that could be serialized.
+pub trait Serialize {}
+
+/// Marker for types that could be deserialized.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

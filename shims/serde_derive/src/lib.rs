@@ -1,0 +1,20 @@
+//! Hermetic in-tree stand-in for `serde_derive`.
+//!
+//! The workspace only uses serde derives as annotations on config/report
+//! structs; nothing serializes at runtime. These no-op derives accept the
+//! attribute position so `#[derive(serde::Serialize, serde::Deserialize)]`
+//! compiles without pulling the real (network-fetched) implementation.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -14,7 +14,7 @@
 
 use buffalo::bucketing::BuffaloScheduler;
 use buffalo::core::sim::{simulate_iteration, SimContext, Strategy};
-use buffalo::core::train::{run_epochs, BuffaloTrainer, EpochConfig};
+use buffalo::core::train::{run_epochs, BuffaloTrainer, EpochConfig, PipelineConfig};
 use buffalo::graph::datasets::{self, DatasetName};
 use buffalo::graph::{io, stats, CsrGraph, NodeId};
 use buffalo::memsim::{AggregatorKind, CostModel, DeviceMemory, GnnShape};
@@ -42,6 +42,7 @@ const USAGE: &str = "usage:
                    [--agg mean|pool|lstm|attention] [--fanouts 10,25]
   buffalo train    <dataset> [--budget 24G] [--epochs N] [--batch-size N]
                    [--hidden H] [--agg ...] [--fanouts 5,10] [--eval N]
+                   [--pipeline on|off]
   buffalo compare  <dataset> [--budget 24G] [--seeds N] [--hidden H] [--k K]";
 
 /// Parsed `--key value` options with positional arguments.
@@ -97,6 +98,14 @@ fn parse_fanouts(s: &str) -> Result<Vec<usize>, String> {
     s.split(',')
         .map(|p| p.trim().parse().map_err(|_| format!("bad fanouts `{s}`")))
         .collect()
+}
+
+fn parse_pipeline(s: &str) -> Result<PipelineConfig, String> {
+    match s {
+        "on" => Ok(PipelineConfig::overlapped()),
+        "off" => Ok(PipelineConfig::serial()),
+        other => Err(format!("--pipeline must be on|off, got `{other}`")),
+    }
 }
 
 fn parse_agg(s: &str) -> Result<AggregatorKind, String> {
@@ -178,7 +187,11 @@ fn cmd_generate(target: &str, opts: &Options) -> Result<(), String> {
         .ok_or("generate requires -o <file>")?;
     let (g, _, name) = load_graph(target)?;
     io::save(&g, out).map_err(|e| e.to_string())?;
-    println!("wrote {name} ({} nodes, {} edges) to {out}", g.num_nodes(), g.num_edges());
+    println!(
+        "wrote {name} ({} nodes, {} edges) to {out}",
+        g.num_nodes(),
+        g.num_edges()
+    );
     Ok(())
 }
 
@@ -255,7 +268,9 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
         flags: opts.flags.clone(),
     };
     // Training runs real dense math on the CPU: default to a light shape.
-    o.flags.entry("hidden".into()).or_insert_with(|| "32".into());
+    o.flags
+        .entry("hidden".into())
+        .or_insert_with(|| "32".into());
     o.flags.entry("agg".into()).or_insert_with(|| "mean".into());
     let s = setup(target, &o, "5,10")?;
     let epochs: usize = o.get("epochs", 3)?;
@@ -271,9 +286,10 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
         lr: o.get("lr", 0.01)?,
         seed: 17,
     };
+    let pipeline = parse_pipeline(&o.get::<String>("pipeline", "off".into())?)?;
     let device = DeviceMemory::new(s.budget);
     let cost = CostModel::rtx6000();
-    let mut trainer = BuffaloTrainer::new(config, s.clustering);
+    let mut trainer = BuffaloTrainer::new(config, s.clustering).with_pipeline(pipeline);
     let cfg = EpochConfig {
         batch_size,
         epochs,
@@ -281,10 +297,14 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
         eval_nodes: eval_nodes.min(s.ds.graph.num_nodes().saturating_sub(train_nodes)),
         seed: 5,
     };
-    let stats = run_epochs(&mut trainer, &s.ds, &device, &cost, &cfg)
-        .map_err(|e| e.to_string())?;
-    println!("{:>6} {:>10} {:>10} {:>8} {:>6}", "epoch", "loss", "train acc", "val acc", "iters");
+    let stats = run_epochs(&mut trainer, &s.ds, &device, &cost, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "{:>6} {:>10} {:>10} {:>8} {:>6}",
+        "epoch", "loss", "train acc", "val acc", "iters"
+    );
+    let mut timings = buffalo::memsim::StageTimings::default();
     for e in stats {
+        timings.accumulate(&e.timings);
         println!(
             "{:>6} {:>10.4} {:>10.3} {:>8} {:>6}",
             e.epoch,
@@ -295,6 +315,17 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
             e.iterations
         );
     }
+    println!(
+        "staging ({}): serial {:.3}s, overlapped {:.3}s, speedup {:.2}x",
+        if pipeline.enabled {
+            "pipeline on"
+        } else {
+            "pipeline off"
+        },
+        timings.serial_sum(),
+        timings.overlapped_makespan,
+        timings.speedup(),
+    );
     Ok(())
 }
 
@@ -367,7 +398,10 @@ mod tests {
         assert_eq!(parse_bytes("512M").unwrap(), 512 << 20);
         assert_eq!(parse_bytes("1k").unwrap(), 1 << 10);
         assert_eq!(parse_bytes("100").unwrap(), 100);
-        assert_eq!(parse_bytes("1.5G").unwrap(), (1.5 * (1u64 << 30) as f64) as u64);
+        assert_eq!(
+            parse_bytes("1.5G").unwrap(),
+            (1.5 * (1u64 << 30) as f64) as u64
+        );
         assert!(parse_bytes("abc").is_err());
     }
 
@@ -379,6 +413,13 @@ mod tests {
         assert_eq!(parse_agg("lstm").unwrap(), AggregatorKind::Lstm);
         assert_eq!(parse_agg("gat").unwrap(), AggregatorKind::Attention);
         assert!(parse_agg("median").is_err());
+    }
+
+    #[test]
+    fn parses_pipeline_toggle() {
+        assert_eq!(parse_pipeline("on").unwrap(), PipelineConfig::overlapped());
+        assert_eq!(parse_pipeline("off").unwrap(), PipelineConfig::serial());
+        assert!(parse_pipeline("maybe").is_err());
     }
 
     #[test]

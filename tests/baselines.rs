@@ -60,8 +60,7 @@ fn betty_fails_on_papers_buffalo_succeeds() {
         matches!(betty, Err(TrainError::Betty(_))),
         "Betty must reject zero in-degree outputs, got {betty:?}"
     );
-    let buffalo =
-        simulate_iteration(&f.batch, ctx(&f), Strategy::Buffalo, &device, &cost).unwrap();
+    let buffalo = simulate_iteration(&f.batch, ctx(&f), Strategy::Buffalo, &device, &cost).unwrap();
     assert!(buffalo.num_micro_batches >= 1);
 }
 
@@ -119,8 +118,7 @@ fn all_strategies_agree_on_whole_batch_memory_bound() {
     let f = fixture(DatasetName::Pubmed, 2_000);
     let cost = CostModel::rtx6000();
     let unlimited = DeviceMemory::new(u64::MAX);
-    let whole =
-        simulate_iteration(&f.batch, ctx(&f), Strategy::Full, &unlimited, &cost).unwrap();
+    let whole = simulate_iteration(&f.batch, ctx(&f), Strategy::Full, &unlimited, &cost).unwrap();
     for strategy in [
         Strategy::Betty { k: 4 },
         Strategy::Metis { k: 4 },
@@ -145,7 +143,9 @@ fn metis_groups_cut_fewer_seed_edges_than_random() {
     let ds = datasets::load(DatasetName::Pubmed, 3);
     let parts = metis_kway(&ds.graph, 8, MetisOptions::default());
     let n = ds.graph.num_nodes();
-    let random_parts: Vec<u32> = (0..n).map(|v| (v as u32).wrapping_mul(2654435761) % 8).collect();
+    let random_parts: Vec<u32> = (0..n)
+        .map(|v| (v as u32).wrapping_mul(2654435761) % 8)
+        .collect();
     let metis_cut = edge_cut(&ds.graph, &parts);
     let random_cut = edge_cut(&ds.graph, &random_parts);
     // Pubmed's stand-in is 55 %-rewired small-world: most edges are

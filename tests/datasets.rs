@@ -2,9 +2,9 @@
 //! stand-in must exhibit the statistical properties Buffalo's design
 //! depends on.
 
+use buffalo::bucketing::{degree_bucketing, detect_explosion};
 use buffalo::graph::datasets::{self, DatasetName};
 use buffalo::graph::stats;
-use buffalo::bucketing::{degree_bucketing, detect_explosion};
 use buffalo::sampling::{BatchSampler, SeedBatches};
 
 #[test]
@@ -13,7 +13,8 @@ fn power_law_flags_match_table_ii() {
         let ds = datasets::load(spec.name, 42);
         let s = stats::summarize(&ds.graph, 42);
         assert_eq!(
-            s.power_law, spec.paper_power_law,
+            s.power_law,
+            spec.paper_power_law,
             "{}: power-law flag mismatch (fit on the stand-in: {:?})",
             spec.name,
             stats::fit_power_law(&ds.graph, 5)

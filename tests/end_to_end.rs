@@ -87,8 +87,12 @@ fn buffalo_and_full_batch_converge_identically() {
         let mut buffalo = BuffaloTrainer::new(config, 0.24);
         let mut saw_multiple_micro_batches = false;
         for i in 0..6 {
-            let sf = full.train_iteration(&ds, &batch, &unlimited, &cost).unwrap();
-            let sb = buffalo.train_iteration(&ds, &batch, &budget, &cost).unwrap();
+            let sf = full
+                .train_iteration(&ds, &batch, &unlimited, &cost)
+                .unwrap();
+            let sb = buffalo
+                .train_iteration(&ds, &batch, &budget, &cost)
+                .unwrap();
             saw_multiple_micro_batches |= sb.num_micro_batches > 1;
             // Gradients are equivalent (see core::verify), but Adam's
             // 1/sqrt(v) step amplifies f32 reassociation noise once the
@@ -159,6 +163,8 @@ fn gat_trains_on_citation_graph_with_zero_in_degree_nodes() {
     let (ds, batch, config, cost) = setup(DatasetName::OgbnPapers, 64, AggregatorKind::Attention);
     let device = DeviceMemory::with_gib(24.0);
     let mut trainer = FullBatchTrainer::new(config);
-    let stats = trainer.train_iteration(&ds, &batch, &device, &cost).unwrap();
+    let stats = trainer
+        .train_iteration(&ds, &batch, &device, &cost)
+        .unwrap();
     assert!(stats.loss.is_finite());
 }

@@ -2,14 +2,13 @@
 //! sample → bucket → schedule → extract → generate pipeline under random
 //! graphs, seed sets, and budgets.
 
-use buffalo::blocks::{
-    generate_blocks_checked, generate_blocks_fast, GenerateOptions,
-};
+use buffalo::blocks::{generate_blocks_checked, generate_blocks_fast, GenerateOptions};
 use buffalo::bucketing::{closure_counts, BuffaloScheduler, ClosureScratch};
 use buffalo::graph::{generators, NodeId};
 use buffalo::memsim::estimate::mem_from_counts;
-use buffalo::memsim::{measure, AggregatorKind, GnnShape};
+use buffalo::memsim::{measure, AggregatorKind, DeviceTimeline, GnnShape, StageTimings};
 use buffalo::sampling::BatchSampler;
+use proptest::collection::vec;
 use proptest::prelude::*;
 
 fn shape() -> GnnShape {
@@ -139,5 +138,60 @@ proptest! {
         }
         let shape = shape();
         prop_assert!(mem_from_counts(&c_small, &shape) <= mem_from_counts(&c_all, &shape));
+    }
+
+    /// The pipeline timeline's makespan is bracketed by the serial sum
+    /// (overlap never hurts) and the busiest single resource (each of
+    /// Prepare and Execute is serial within itself), at every depth —
+    /// and depth 1 degenerates to exactly the serial sum.
+    #[test]
+    fn timeline_makespan_is_bracketed(
+        times in vec((0.0f64..0.05, 0.0f64..0.05), 1..12),
+        depth in 1usize..5,
+    ) {
+        let mut tl = DeviceTimeline::new(depth);
+        for &(p, d) in &times {
+            tl.record(p, d);
+        }
+        let serial: f64 = times.iter().map(|(p, d)| p + d).sum();
+        let prep: f64 = times.iter().map(|(p, _)| p).sum();
+        let dev: f64 = times.iter().map(|(_, d)| d).sum();
+        prop_assert!(tl.makespan() <= serial + 1e-9);
+        prop_assert!(tl.makespan() + 1e-9 >= prep.max(dev));
+        let mut one = DeviceTimeline::new(1);
+        for &(p, d) in &times {
+            one.record(p, d);
+        }
+        prop_assert!((one.makespan() - serial).abs() < 1e-9);
+    }
+
+    /// StageTimings assembled the way the trainers assemble them (stage
+    /// sums plus a depth-2 timeline makespan) always satisfy
+    /// `max_stage() ≤ overlapped_makespan ≤ serial_sum()`, so the reported
+    /// speedup is at least 1.
+    #[test]
+    fn stage_timings_overlap_invariants(
+        micros in vec(
+            (0.0f64..0.05, 0.0f64..0.05, 0.0f64..0.05, 0.0f64..0.05),
+            1..10,
+        ),
+        schedule in 0.0f64..0.02,
+    ) {
+        let mut t = StageTimings {
+            schedule_seconds: schedule,
+            ..Default::default()
+        };
+        let mut tl = DeviceTimeline::new(2.min(micros.len()));
+        for &(block_gen, gather, compute, transfer) in &micros {
+            t.block_gen_seconds += block_gen;
+            t.gather_seconds += gather;
+            t.sim_compute_seconds += compute;
+            t.sim_transfer_seconds += transfer;
+            tl.record(block_gen + gather, compute + transfer);
+        }
+        t.overlapped_makespan = schedule + tl.makespan();
+        prop_assert!(t.overlapped_makespan <= t.serial_sum() + 1e-9);
+        prop_assert!(t.overlapped_makespan + 1e-9 >= t.max_stage());
+        prop_assert!(t.speedup() >= 1.0 - 1e-6);
     }
 }

@@ -38,7 +38,12 @@ fn fixture(name: DatasetName, num_seeds: u32, hidden: usize) -> Fixture {
 }
 
 fn whole_mem(f: &Fixture) -> u64 {
-    let blocks = generate_blocks_fast(&f.batch.graph, f.batch.num_seeds, 2, GenerateOptions::default());
+    let blocks = generate_blocks_fast(
+        &f.batch.graph,
+        f.batch.num_seeds,
+        2,
+        GenerateOptions::default(),
+    );
     measure::training_memory(&blocks, &f.shape).total()
 }
 
@@ -85,7 +90,11 @@ fn every_plan_group_fits_its_budget_exactly_measured() {
 
 #[test]
 fn plans_partition_seeds_on_every_dataset() {
-    for name in [DatasetName::Cora, DatasetName::Pubmed, DatasetName::OgbnPapers] {
+    for name in [
+        DatasetName::Cora,
+        DatasetName::Pubmed,
+        DatasetName::OgbnPapers,
+    ] {
         let f = fixture(name, 1_000, 64);
         let scheduler = BuffaloScheduler::new(f.shape.clone(), vec![10, 25], f.clustering);
         let plan = scheduler

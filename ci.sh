@@ -1,15 +1,32 @@
 #!/usr/bin/env bash
-# Repo CI: formatting, lints, the full test suite, and a smoke run of the
-# staged micro-batch pipeline in both modes.
+# Repo CI: formatting, lints, the full test suite, a smoke run of the
+# staged micro-batch pipeline in both modes, and the parallel-kernel
+# determinism + microbenchmark checks.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
+cargo bench --workspace --no-run
 
 # The pipeline toggle must train end-to-end both ways.
 cargo run -q --release --bin buffalo -- train cora --epochs 1 --budget 12M --pipeline off
 cargo run -q --release --bin buffalo -- train cora --epochs 1 --budget 12M --pipeline on
+
+# Parallel kernels must not change the numerics: the epoch table (loss,
+# accuracies) has to be byte-identical between 1 and 4 threads.
+t1=$(cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 12M --threads 1 | grep -E '^\s+[0-9]')
+t4=$(cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 12M --threads 4 | grep -E '^\s+[0-9]')
+if [ "$t1" != "$t4" ]; then
+  echo "ci: FAIL — training diverged between --threads 1 and --threads 4" >&2
+  printf 'threads=1:\n%s\nthreads=4:\n%s\n' "$t1" "$t4" >&2
+  exit 1
+fi
+echo "ci: --threads 1 and --threads 4 epoch tables identical"
+
+# Kernel microbenchmarks; writes BENCH_kernels.json (includes host_threads
+# so single-core CI results are interpretable).
+cargo run -q --release -p buffalo-bench --bin figures -- kernels --quick
 
 echo "ci: all checks passed"

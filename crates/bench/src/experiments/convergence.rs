@@ -19,6 +19,7 @@ fn train_config(feat_dim: usize, num_classes: usize, aggregator: AggregatorKind)
         fanouts: TRAIN_FANOUTS.to_vec(),
         lr: 0.01,
         seed: 17,
+        parallelism: buffalo_par::Parallelism::auto(),
     }
 }
 

@@ -1,0 +1,159 @@
+//! CPU kernel microbenchmark: tiled matmul and block-parallel SAGE
+//! aggregation, serial vs thread-pooled, written to `BENCH_kernels.json`.
+//!
+//! The JSON records `host_threads` (what `std::thread::available_parallelism`
+//! reports) next to every speedup: on a single-core container all thread
+//! counts time-slice one CPU, so a parallel/serial ratio near 1.0 there
+//! measures dispatch overhead, not the kernel's scalability.
+
+use buffalo_blocks::Block;
+use buffalo_core::models::SageLayer;
+use buffalo_memsim::AggregatorKind;
+use buffalo_par::Parallelism;
+use buffalo_tensor::Tensor;
+use std::time::Instant;
+
+const PARALLEL_THREADS: usize = 4;
+
+fn config(threads: usize) -> Parallelism {
+    Parallelism {
+        threads,
+        min_parallel_rows: 1,
+        ..Parallelism::auto()
+    }
+}
+
+/// Median-of-runs wall time in seconds.
+fn time_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct OpResult {
+    name: String,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+impl OpResult {
+    fn speedup(&self) -> f64 {
+        if self.parallel_s > 0.0 {
+            self.serial_s / self.parallel_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn dense_block(n_dst: usize, n_src: usize, deg: usize) -> Block {
+    let dst_nodes: Vec<u32> = (0..n_dst as u32).collect();
+    let src_nodes: Vec<u32> = (0..n_src as u32).collect();
+    let offsets: Vec<usize> = (0..=n_dst).map(|i| i * deg).collect();
+    let indices: Vec<u32> = (0..n_dst * deg)
+        .map(|e| ((e * 2654435761) % n_src) as u32)
+        .collect();
+    Block::from_parts(dst_nodes, src_nodes, offsets, indices)
+}
+
+fn bench_matmul(n: usize, reps: usize) -> OpResult {
+    let a = Tensor::xavier(n, n, 1);
+    let b = Tensor::xavier(n, n, 2);
+    let serial = config(1);
+    let parallel = config(PARALLEL_THREADS);
+    // Equality first: the parallel kernel must be bit-identical.
+    assert_eq!(
+        a.matmul_with(&b, &serial).data(),
+        a.matmul_with(&b, &parallel).data(),
+        "matmul {n}x{n}: parallel result diverged"
+    );
+    OpResult {
+        name: format!("matmul_{n}x{n}"),
+        serial_s: time_secs(reps, || {
+            a.matmul_with(&b, &serial);
+        }),
+        parallel_s: time_secs(reps, || {
+            a.matmul_with(&b, &parallel);
+        }),
+    }
+}
+
+fn bench_aggregate(reps: usize) -> OpResult {
+    let (n_dst, n_src, dim) = (2_048, 4_096, 64);
+    let block = dense_block(n_dst, n_src, 12);
+    let h = Tensor::xavier(n_src, dim, 3);
+    let layer = SageLayer::new(dim, dim, AggregatorKind::Mean, false, 5);
+    config(1).install();
+    let (want, _) = layer.forward(&block, &h);
+    config(PARALLEL_THREADS).install();
+    let (got, _) = layer.forward(&block, &h);
+    assert_eq!(
+        want.data(),
+        got.data(),
+        "sage aggregation: parallel result diverged"
+    );
+    config(1).install();
+    let serial_s = time_secs(reps, || {
+        layer.forward(&block, &h);
+    });
+    config(PARALLEL_THREADS).install();
+    let parallel_s = time_secs(reps, || {
+        layer.forward(&block, &h);
+    });
+    Parallelism::auto().install();
+    OpResult {
+        name: "sage_mean_forward_2048x64".into(),
+        serial_s,
+        parallel_s,
+    }
+}
+
+/// Runs the kernel microbenchmarks and writes `BENCH_kernels.json`.
+pub fn kernels(quick: bool) {
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (sizes, reps): (&[usize], usize) = if quick { (&[256], 3) } else { (&[256, 512], 5) };
+    let mut results: Vec<OpResult> = sizes.iter().map(|&n| bench_matmul(n, reps)).collect();
+    results.push(bench_aggregate(reps));
+
+    println!("host_threads={host_threads} parallel_threads={PARALLEL_THREADS}");
+    for r in &results {
+        println!(
+            "{:<28} serial {:.4}s  {}t {:.4}s  speedup {:.2}x",
+            r.name,
+            r.serial_s,
+            PARALLEL_THREADS,
+            r.parallel_s,
+            r.speedup()
+        );
+    }
+
+    let ops: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"op\": \"{}\", \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.4}}}",
+                r.name,
+                r.serial_s,
+                r.parallel_s,
+                r.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"host_threads\": {host_threads},\n  \"parallel_threads\": {PARALLEL_THREADS},\n  \"note\": \"speedups are meaningful only when host_threads >= parallel_threads; on a 1-core host all configs time-slice one CPU\",\n  \"ops\": [\n{}\n  ]\n}}\n",
+        ops.join(",\n")
+    );
+    if let Err(e) = std::fs::write("BENCH_kernels.json", &json) {
+        eprintln!("warning: could not write BENCH_kernels.json: {e}");
+    } else {
+        println!("wrote BENCH_kernels.json");
+    }
+}

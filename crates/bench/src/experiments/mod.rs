@@ -5,6 +5,7 @@
 pub mod ablation;
 pub mod convergence;
 pub mod distributions;
+pub mod kernels;
 pub mod memwall;
 pub mod multigpu;
 pub mod pareto;
@@ -36,6 +37,7 @@ pub const ALL_IDS: &[&str] = &[
     "ablate-tiered",
     "ablate-pipeline",
     "pipeline-train",
+    "kernels",
 ];
 
 /// Runs one experiment by id.
@@ -68,6 +70,7 @@ pub fn run(id: &str, quick: bool) -> Result<(), String> {
         "ablate-tiered" => tiered::tiered(quick),
         "ablate-pipeline" => ablation::pipeline(quick),
         "pipeline-train" => timing::pipeline_train(quick),
+        "kernels" => kernels::kernels(quick),
         other => return Err(format!("unknown experiment id `{other}`")),
     }
     println!();

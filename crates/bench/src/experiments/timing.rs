@@ -258,6 +258,7 @@ pub fn pipeline_train(quick: bool) {
             fanouts: w.fanouts.clone(),
             lr: 0.01,
             seed: 9,
+            parallelism: buffalo_par::Parallelism::auto(),
         };
         let run = |pipeline: PipelineConfig| {
             let device = DeviceMemory::new(budget);

@@ -4,17 +4,34 @@ use crate::block::Block;
 use buffalo_graph::{CsrGraph, NodeId};
 use std::collections::HashMap;
 
+/// Default [`GenerateOptions::parallel_threshold`]: below this many
+/// destination rows, gathering goes serial.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1024;
+
 /// Options for [`generate_blocks_fast`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct GenerateOptions {
-    /// Worker threads for node-level parallelism. `None` uses the number of
-    /// available CPUs.
+    /// Worker threads for node-level parallelism. `None` follows the
+    /// process-wide [`buffalo_par::ambient`] configuration (the global
+    /// `--threads` setting).
     pub threads: Option<usize>,
+    /// Minimum destination count before row gathering dispatches to the
+    /// shared worker pool; defaults to [`DEFAULT_PARALLEL_THRESHOLD`].
+    pub parallel_threshold: usize,
+}
+
+impl Default for GenerateOptions {
+    fn default() -> Self {
+        GenerateOptions {
+            threads: None,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
 }
 
 fn resolve_threads(opts: &GenerateOptions) -> usize {
     opts.threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .unwrap_or_else(|| buffalo_par::ambient().threads)
         .max(1)
 }
 
@@ -52,11 +69,13 @@ pub fn generate_blocks_fast(
     let n = batch_graph.num_nodes();
     let mut dst: Vec<NodeId> = (0..num_seeds as NodeId).collect();
     let mut blocks_rev: Vec<Block> = Vec::with_capacity(depth);
+    // Scratch position table reused across layers: entries touched in a
+    // layer are exactly those of its src_nodes, so only they need reset.
+    let mut pos_of: Vec<u32> = vec![u32::MAX; n];
     for _ in 0..depth {
         // Phase 1 (parallel): gather each destination row from CSR.
-        let rows: Vec<&[NodeId]> = gather_rows(batch_graph, &dst, threads);
+        let rows: Vec<&[NodeId]> = gather_rows(batch_graph, &dst, threads, opts.parallel_threshold);
         // Phase 2 (sequential): assign source positions in discovery order.
-        let mut pos_of: Vec<u32> = vec![u32::MAX; n];
         let mut src_nodes: Vec<NodeId> = dst.clone();
         for (i, &v) in dst.iter().enumerate() {
             pos_of[v as usize] = i as u32;
@@ -76,6 +95,9 @@ pub fn generate_blocks_fast(
             offsets.push(indices.len());
         }
         let block = Block::from_parts(dst, src_nodes, offsets, indices);
+        for &v in block.src_nodes() {
+            pos_of[v as usize] = u32::MAX;
+        }
         dst = block.src_nodes().to_vec();
         blocks_rev.push(block);
     }
@@ -84,24 +106,32 @@ pub fn generate_blocks_fast(
 }
 
 /// Gathers the CSR row of every destination, chunked over `threads`
-/// workers. Row slices borrow from `g`, so this is pure pointer work — the
-/// parallelism pays off when rows must be touched (prefetched) for large
-/// batches.
-fn gather_rows<'g>(g: &'g CsrGraph, dst: &[NodeId], threads: usize) -> Vec<&'g [NodeId]> {
-    if threads <= 1 || dst.len() < 1024 {
+/// workers of the shared [`buffalo_par`] pool. Row slices borrow from `g`,
+/// so this is pure pointer work — the parallelism pays off when rows must
+/// be touched (prefetched) for large batches.
+fn gather_rows<'g>(
+    g: &'g CsrGraph,
+    dst: &[NodeId],
+    threads: usize,
+    parallel_threshold: usize,
+) -> Vec<&'g [NodeId]> {
+    if threads <= 1 || dst.len() < parallel_threshold {
         return dst.iter().map(|&v| g.neighbors(v)).collect();
     }
     let chunk = dst.len().div_ceil(threads);
     let mut rows: Vec<&[NodeId]> = vec![&[]; dst.len()];
-    std::thread::scope(|s| {
-        for (dst_chunk, out_chunk) in dst.chunks(chunk).zip(rows.chunks_mut(chunk)) {
-            s.spawn(move || {
+    let tasks: Vec<buffalo_par::Task<'_>> = dst
+        .chunks(chunk)
+        .zip(rows.chunks_mut(chunk))
+        .map(|(dst_chunk, out_chunk)| -> buffalo_par::Task<'_> {
+            Box::new(move || {
                 for (o, &v) in out_chunk.iter_mut().zip(dst_chunk) {
                     *o = g.neighbors(v);
                 }
-            });
-        }
-    });
+            })
+        })
+        .collect();
+    buffalo_par::run_tasks(tasks, threads);
     rows
 }
 
@@ -275,9 +305,36 @@ mod tests {
             }
         }
         let g = b.build_directed();
-        let one = generate_blocks_fast(&g, 2_000, 2, GenerateOptions { threads: Some(1) });
-        let four = generate_blocks_fast(&g, 2_000, 2, GenerateOptions { threads: Some(4) });
+        let one = generate_blocks_fast(
+            &g,
+            2_000,
+            2,
+            GenerateOptions {
+                threads: Some(1),
+                ..Default::default()
+            },
+        );
+        let four = generate_blocks_fast(
+            &g,
+            2_000,
+            2,
+            GenerateOptions {
+                threads: Some(4),
+                ..Default::default()
+            },
+        );
         assert_eq!(one, four);
+        // A tiny threshold forces the pool path even at this size.
+        let pooled = generate_blocks_fast(
+            &g,
+            2_000,
+            2,
+            GenerateOptions {
+                threads: Some(4),
+                parallel_threshold: 1,
+            },
+        );
+        assert_eq!(one, pooled);
     }
 
     #[test]

@@ -21,7 +21,11 @@
 mod block;
 mod generate;
 mod prepared;
+mod reverse;
 
 pub use block::Block;
-pub use generate::{generate_blocks_checked, generate_blocks_fast, GenerateOptions};
+pub use generate::{
+    generate_blocks_checked, generate_blocks_fast, GenerateOptions, DEFAULT_PARALLEL_THRESHOLD,
+};
 pub use prepared::PreparedBlocks;
+pub use reverse::ReverseIndex;

@@ -61,43 +61,73 @@ impl GatLayer {
     pub fn forward(&self, block: &Block, h_src: &Tensor) -> (Tensor, GatCache) {
         assert_eq!(h_src.rows(), block.num_src(), "h_src row count mismatch");
         let n_dst = block.num_dst();
+        let out_dim = self.out_dim;
         let z = self.lin.forward(h_src);
         let dot =
             |a: &Tensor, row: &[f32]| -> f32 { a.row(0).iter().zip(row).map(|(x, y)| x * y).sum() };
-        let mut y = Tensor::zeros(n_dst, self.out_dim);
-        let mut alphas = Vec::with_capacity(n_dst);
-        let mut positive = Vec::with_capacity(n_dst);
-        for i in 0..n_dst {
-            let cands = Self::candidates(block, i);
-            let s_l = dot(&self.a_l.value, z.row(i));
-            let mut scores: Vec<f32> = cands
-                .iter()
-                .map(|&j| s_l + dot(&self.a_r.value, z.row(j)))
+        let mut y = Tensor::zeros(n_dst, out_dim);
+        let mut alphas: Vec<Vec<f32>> = vec![Vec::new(); n_dst];
+        let mut positive: Vec<Vec<bool>> = vec![Vec::new(); n_dst];
+        // Each destination owns its output row, attention weights, and
+        // sign mask, so row chunks fill all three in parallel with the
+        // per-destination arithmetic unchanged — bit-identical for any
+        // thread count.
+        let z_ref = &z;
+        let fill = |i0: usize, y_chunk: &mut [f32], al: &mut [Vec<f32>], po: &mut [Vec<bool>]| {
+            for (r, out) in y_chunk.chunks_exact_mut(out_dim).enumerate() {
+                let i = i0 + r;
+                let cands = Self::candidates(block, i);
+                let s_l = dot(&self.a_l.value, z_ref.row(i));
+                let mut scores: Vec<f32> = cands
+                    .iter()
+                    .map(|&j| s_l + dot(&self.a_r.value, z_ref.row(j)))
+                    .collect();
+                let pos: Vec<bool> = scores.iter().map(|&s| s > 0.0).collect();
+                for s in scores.iter_mut() {
+                    if *s <= 0.0 {
+                        *s *= LEAKY_SLOPE;
+                    }
+                }
+                // Softmax.
+                let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for s in scores.iter_mut() {
+                    *s = (*s - max).exp();
+                    sum += *s;
+                }
+                for s in scores.iter_mut() {
+                    *s /= sum;
+                }
+                for (&j, &a) in cands.iter().zip(&scores) {
+                    for (o, &zv) in out.iter_mut().zip(z_ref.row(j)) {
+                        *o += a * zv;
+                    }
+                }
+                al[r] = scores;
+                po[r] = pos;
+            }
+        };
+        let par = buffalo_par::ambient();
+        let threads = par.effective_threads(n_dst);
+        if threads <= 1 || out_dim == 0 {
+            fill(0, y.data_mut(), &mut alphas, &mut positive);
+        } else {
+            let chunk_rows = n_dst.div_ceil(threads);
+            let fill = &fill;
+            let tasks: Vec<buffalo_par::Task<'_>> = y
+                .data_mut()
+                .chunks_mut(chunk_rows * out_dim)
+                .zip(
+                    alphas
+                        .chunks_mut(chunk_rows)
+                        .zip(positive.chunks_mut(chunk_rows)),
+                )
+                .enumerate()
+                .map(|(ci, (yc, (ac, pc)))| -> buffalo_par::Task<'_> {
+                    Box::new(move || fill(ci * chunk_rows, yc, ac, pc))
+                })
                 .collect();
-            let pos: Vec<bool> = scores.iter().map(|&s| s > 0.0).collect();
-            for s in scores.iter_mut() {
-                if *s <= 0.0 {
-                    *s *= LEAKY_SLOPE;
-                }
-            }
-            // Softmax.
-            let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for s in scores.iter_mut() {
-                *s = (*s - max).exp();
-                sum += *s;
-            }
-            for s in scores.iter_mut() {
-                *s /= sum;
-            }
-            let out = y.row_mut(i);
-            for (&j, &a) in cands.iter().zip(&scores) {
-                for (o, &zv) in out.iter_mut().zip(z.row(j)) {
-                    *o += a * zv;
-                }
-            }
-            alphas.push(scores);
-            positive.push(pos);
+            buffalo_par::run_tasks(tasks, threads);
         }
         let relu_mask = self.relu.then(|| y.relu_inplace());
         (
@@ -113,48 +143,186 @@ impl GatLayer {
     }
 
     /// Backward over one block: accumulates gradients, returns `dh_src`.
+    ///
+    /// Runs in three deterministic parallel phases, each replicating the
+    /// sequential arithmetic chains exactly (see the phase comments), so
+    /// gradients are bit-identical for any thread count.
     pub fn backward(&mut self, block: &Block, cache: &GatCache, dy: &Tensor) -> Tensor {
         let n_dst = block.num_dst();
+        let out_dim = self.out_dim;
         let mut dy = dy.clone();
         if let Some(mask) = &cache.relu_mask {
             dy.relu_backward(mask);
         }
-        let mut dz = Tensor::zeros(cache.z.rows(), self.out_dim);
-        let mut da_l = Tensor::zeros(1, self.out_dim);
-        let mut da_r = Tensor::zeros(1, self.out_dim);
+        let par = buffalo_par::ambient();
         let dot = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
-        for i in 0..n_dst {
-            let cands = GatLayer::candidates(block, i);
-            let alpha = &cache.alphas[i];
-            let pos = &cache.positive[i];
-            let dagg = dy.row(i).to_vec();
-            // dα and the softmax Jacobian.
-            let dalpha: Vec<f32> = cands.iter().map(|&j| dot(&dagg, cache.z.row(j))).collect();
-            let sum_term: f32 = alpha.iter().zip(&dalpha).map(|(a, d)| a * d).sum();
-            for ((&j, (&a, &da)), &p) in cands.iter().zip(alpha.iter().zip(&dalpha)).zip(pos.iter())
-            {
-                // Through aggregation: dz_j += α_j · dagg.
-                for (o, &g) in dz.row_mut(j).iter_mut().zip(&dagg) {
-                    *o += a * g;
+        // Phase 1 (parallel over destinations): candidate lists and the
+        // per-edge score gradients ds = α · (dα − Σ α·dα) through softmax
+        // and LeakyReLU, with the sequential dot-product chains.
+        let mut cands_all: Vec<Vec<usize>> = vec![Vec::new(); n_dst];
+        let mut ds_all: Vec<Vec<f32>> = vec![Vec::new(); n_dst];
+        {
+            let dy_ref = &dy;
+            let z_ref = &cache.z;
+            let fill = |i0: usize, cc: &mut [Vec<usize>], dd: &mut [Vec<f32>]| {
+                for (r, (cands_out, ds_out)) in cc.iter_mut().zip(dd.iter_mut()).enumerate() {
+                    let i = i0 + r;
+                    let cands = GatLayer::candidates(block, i);
+                    let alpha = &cache.alphas[i];
+                    let pos = &cache.positive[i];
+                    let dagg = dy_ref.row(i);
+                    // dα and the softmax Jacobian.
+                    let dalpha: Vec<f32> = cands.iter().map(|&j| dot(dagg, z_ref.row(j))).collect();
+                    let sum_term: f32 = alpha.iter().zip(&dalpha).map(|(a, d)| a * d).sum();
+                    *ds_out = alpha
+                        .iter()
+                        .zip(&dalpha)
+                        .zip(pos)
+                        .map(|((&a, &da), &p)| {
+                            let mut ds = a * (da - sum_term);
+                            if !p {
+                                ds *= LEAKY_SLOPE;
+                            }
+                            ds
+                        })
+                        .collect();
+                    *cands_out = cands;
                 }
-                // Through softmax and LeakyReLU.
-                let mut ds = a * (da - sum_term);
-                if !p {
-                    ds *= LEAKY_SLOPE;
+            };
+            let threads = par.effective_threads(n_dst);
+            if threads <= 1 {
+                fill(0, &mut cands_all, &mut ds_all);
+            } else {
+                let chunk_rows = n_dst.div_ceil(threads);
+                let fill = &fill;
+                let tasks: Vec<buffalo_par::Task<'_>> = cands_all
+                    .chunks_mut(chunk_rows)
+                    .zip(ds_all.chunks_mut(chunk_rows))
+                    .enumerate()
+                    .map(|(ci, (cc, dd))| -> buffalo_par::Task<'_> {
+                        Box::new(move || fill(ci * chunk_rows, cc, dd))
+                    })
+                    .collect();
+                buffalo_par::run_tasks(tasks, threads);
+            }
+        }
+        // Phase 2: dz. The sequential loop writes three kinds of updates —
+        // per edge (i, c) with j = cands[c], in this order:
+        //   AGG:   dz[j] += α · dagg_i
+        //   SELF:  dz[i] += ds · a_l
+        //   NEIGH: dz[j] += ds · a_r
+        // Bucket them per target row (CSR built in sequential visit order:
+        // ascending i, candidate order, AGG < SELF < NEIGH), then replay
+        // each row's events on its owning thread — the per-element
+        // accumulation order is exactly the sequential one.
+        const KIND_AGG: u8 = 0;
+        const KIND_SELF: u8 = 1;
+        const KIND_NEIGH: u8 = 2;
+        let n_src = cache.z.rows();
+        let mut counts = vec![0usize; n_src];
+        for (i, cands) in cands_all.iter().enumerate() {
+            counts[i] += cands.len();
+            for &j in cands {
+                counts[j] += 2;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n_src + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &c in &counts {
+            total += c;
+            offsets.push(total);
+        }
+        let mut cursor = offsets[..n_src].to_vec();
+        let mut events: Vec<(u32, u32, u8)> = vec![(0, 0, 0); total];
+        for (i, cands) in cands_all.iter().enumerate() {
+            for (c, &j) in cands.iter().enumerate() {
+                let mut push = |row: usize, kind: u8| {
+                    let slot = &mut cursor[row];
+                    events[*slot] = (i as u32, c as u32, kind);
+                    *slot += 1;
+                };
+                push(j, KIND_AGG);
+                push(i, KIND_SELF);
+                push(j, KIND_NEIGH);
+            }
+        }
+        let mut dz = Tensor::zeros(n_src, out_dim);
+        let a_l_row = self.a_l.value.row(0);
+        let a_r_row = self.a_r.value.row(0);
+        {
+            let dy_ref = &dy;
+            let (events_ref, offsets_ref) = (&events, &offsets);
+            let (alphas_ref, ds_ref) = (&cache.alphas, &ds_all);
+            buffalo_par::parallel_rows(dz.data_mut(), out_dim, &par, |row0, chunk| {
+                for (r, row) in chunk.chunks_exact_mut(out_dim).enumerate() {
+                    let q = row0 + r;
+                    for &(i, c, kind) in &events_ref[offsets_ref[q]..offsets_ref[q + 1]] {
+                        let (i, c) = (i as usize, c as usize);
+                        match kind {
+                            KIND_AGG => {
+                                let a = alphas_ref[i][c];
+                                for (o, &g) in row.iter_mut().zip(dy_ref.row(i)) {
+                                    *o += a * g;
+                                }
+                            }
+                            KIND_SELF => {
+                                let ds = ds_ref[i][c];
+                                for (o, &al) in row.iter_mut().zip(a_l_row) {
+                                    *o += ds * al;
+                                }
+                            }
+                            _ => {
+                                let ds = ds_ref[i][c];
+                                for (o, &ar) in row.iter_mut().zip(a_r_row) {
+                                    *o += ds * ar;
+                                }
+                            }
+                        }
+                    }
                 }
-                // s = a_l · z_i + a_r · z_j
-                for (gl, &zi) in da_l.row_mut(0).iter_mut().zip(cache.z.row(i)) {
-                    *gl += ds * zi;
+            });
+        }
+        // Phase 3 (parallel over columns): da_l / da_r. Each thread owns a
+        // contiguous column range of both gradient rows and walks the edges
+        // in sequential order (ascending i, candidate order) — per element
+        // the accumulation chain is exactly the sequential one.
+        let mut da_l = Tensor::zeros(1, out_dim);
+        let mut da_r = Tensor::zeros(1, out_dim);
+        {
+            let z_ref = &cache.z;
+            let (cands_ref, ds_ref) = (&cands_all, &ds_all);
+            let acc = |d0: usize, dal: &mut [f32], dar: &mut [f32]| {
+                for (i, cands) in cands_ref.iter().enumerate() {
+                    for (c, &j) in cands.iter().enumerate() {
+                        let ds = ds_ref[i][c];
+                        let zi = &z_ref.row(i)[d0..d0 + dal.len()];
+                        for (gl, &zv) in dal.iter_mut().zip(zi) {
+                            *gl += ds * zv;
+                        }
+                        let zj = &z_ref.row(j)[d0..d0 + dar.len()];
+                        for (gr, &zv) in dar.iter_mut().zip(zj) {
+                            *gr += ds * zv;
+                        }
+                    }
                 }
-                for (gr, &zj) in da_r.row_mut(0).iter_mut().zip(cache.z.row(j)) {
-                    *gr += ds * zj;
-                }
-                for (o, &al) in dz.row_mut(i).iter_mut().zip(self.a_l.value.row(0)) {
-                    *o += ds * al;
-                }
-                for (o, &ar) in dz.row_mut(j).iter_mut().zip(self.a_r.value.row(0)) {
-                    *o += ds * ar;
-                }
+            };
+            let threads = par.effective_threads(out_dim);
+            if threads <= 1 {
+                acc(0, da_l.data_mut(), da_r.data_mut());
+            } else {
+                let chunk_cols = out_dim.div_ceil(threads);
+                let acc = &acc;
+                let tasks: Vec<buffalo_par::Task<'_>> = da_l
+                    .data_mut()
+                    .chunks_mut(chunk_cols)
+                    .zip(da_r.data_mut().chunks_mut(chunk_cols))
+                    .enumerate()
+                    .map(|(ci, (dal, dar))| -> buffalo_par::Task<'_> {
+                        Box::new(move || acc(ci * chunk_cols, dal, dar))
+                    })
+                    .collect();
+                buffalo_par::run_tasks(tasks, threads);
             }
         }
         self.a_l.accumulate(&da_l);

@@ -7,7 +7,7 @@
 //! module completes the trio of canonical models next to GraphSAGE and
 //! GAT.
 
-use buffalo_blocks::Block;
+use buffalo_blocks::{Block, ReverseIndex};
 use buffalo_memsim::GnnShape;
 use buffalo_tensor::{Linear, Param, Tensor};
 
@@ -46,24 +46,28 @@ impl GcnLayer {
         assert_eq!(h_src.rows(), block.num_src(), "h_src row count mismatch");
         assert_eq!(h_src.cols(), self.in_dim, "h_src width mismatch");
         let n_dst = block.num_dst();
-        let mut agg = Tensor::zeros(n_dst, self.in_dim);
-        for i in 0..n_dst {
-            let inv = 1.0 / (block.in_degree(i) + 1) as f32;
-            // Self contribution (prefix invariant: dst i is src row i).
-            {
-                let row = agg.row_mut(i);
+        let dim = self.in_dim;
+        let mut agg = Tensor::zeros(n_dst, dim);
+        // Parallel over disjoint destination rows; per row the self term
+        // still precedes the neighbors in block order, so the result is
+        // bit-identical for any thread count.
+        let par = buffalo_par::ambient();
+        buffalo_par::parallel_rows(agg.data_mut(), dim, &par, |row0, chunk| {
+            for (r, row) in chunk.chunks_exact_mut(dim).enumerate() {
+                let i = row0 + r;
+                let inv = 1.0 / (block.in_degree(i) + 1) as f32;
+                // Self contribution (prefix invariant: dst i is src row i).
                 for (a, &s) in row.iter_mut().zip(h_src.row(i)) {
                     *a += s * inv;
                 }
-            }
-            for &p in block.src_positions(i) {
-                let src_row = h_src.row(p as usize);
-                let row = agg.row_mut(i);
-                for (a, &s) in row.iter_mut().zip(src_row) {
-                    *a += s * inv;
+                for &p in block.src_positions(i) {
+                    let src_row = h_src.row(p as usize);
+                    for (a, &s) in row.iter_mut().zip(src_row) {
+                        *a += s * inv;
+                    }
                 }
             }
-        }
+        });
         let mut y = self.lin.forward(&agg);
         let relu_mask = self.relu.then(|| y.relu_inplace());
         (y, GcnCache { agg, relu_mask })
@@ -76,20 +80,48 @@ impl GcnLayer {
             dy.relu_backward(mask);
         }
         let d_agg = self.lin.backward(&cache.agg, &dy);
-        let mut dh_src = Tensor::zeros(block.num_src(), self.in_dim);
-        for i in 0..block.num_dst() {
-            let inv = 1.0 / (block.in_degree(i) + 1) as f32;
-            let grad: Vec<f32> = d_agg.row(i).iter().map(|&g| g * inv).collect();
-            for (s, &g) in dh_src.row_mut(i).iter_mut().zip(&grad) {
-                *s += g;
+        let n_dst = block.num_dst();
+        let dim = self.in_dim;
+        let mut dh_src = Tensor::zeros(block.num_src(), dim);
+        // Scatter through the reverse (src → dst) index so each source row
+        // is written by one thread. The sequential loop visits destinations
+        // in ascending order, adding the self term of destination `i` to
+        // row `i` before its neighbor terms — so row `p` receives its self
+        // term (if `p` is a destination) between reverse entries `< p` and
+        // `>= p`. Replaying in that order keeps the gradient bit-identical
+        // for any thread count.
+        let par = buffalo_par::ambient();
+        let rev = ReverseIndex::new(block);
+        let inv: Vec<f32> = (0..n_dst)
+            .map(|i| 1.0 / (block.in_degree(i) + 1) as f32)
+            .collect();
+        let d_agg_ref = &d_agg;
+        let add = |row: &mut [f32], i: usize| {
+            let iv = inv[i];
+            for (s, &g) in row.iter_mut().zip(d_agg_ref.row(i)) {
+                *s += g * iv;
             }
-            for &p in block.src_positions(i) {
-                let row = dh_src.row_mut(p as usize);
-                for (s, &g) in row.iter_mut().zip(&grad) {
-                    *s += g;
+        };
+        buffalo_par::parallel_rows(dh_src.data_mut(), dim, &par, |row0, chunk| {
+            for (r, row) in chunk.chunks_exact_mut(dim).enumerate() {
+                let p = row0 + r;
+                let dsts = rev.dsts_of(p);
+                let self_at = if p < n_dst {
+                    dsts.partition_point(|&i| (i as usize) < p)
+                } else {
+                    dsts.len()
+                };
+                for &i in &dsts[..self_at] {
+                    add(row, i as usize);
+                }
+                if p < n_dst {
+                    add(row, p);
+                }
+                for &i in &dsts[self_at..] {
+                    add(row, i as usize);
                 }
             }
-        }
+        });
         dh_src
     }
 

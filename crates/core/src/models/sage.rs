@@ -6,7 +6,7 @@
 //! runs the recurrent aggregator over equal-length neighbor sequences with
 //! no padding.
 
-use buffalo_blocks::Block;
+use buffalo_blocks::{Block, ReverseIndex};
 use buffalo_memsim::{AggregatorKind, GnnShape};
 use buffalo_tensor::{Linear, LstmCell, LstmState, Param, Tensor};
 use std::collections::BTreeMap;
@@ -123,46 +123,78 @@ impl SageLayer {
         let dim = self.in_dim;
         match &self.agg {
             AggregatorImpl::Mean => {
+                // Parallel over disjoint destination rows; each row still
+                // accumulates its sources in block order, so the result is
+                // bit-identical for any thread count.
+                let par = buffalo_par::ambient();
                 let mut agg = Tensor::zeros(n_dst, dim);
-                for i in 0..n_dst {
-                    let pos = block.src_positions(i);
-                    if pos.is_empty() {
-                        continue;
-                    }
-                    let inv = 1.0 / pos.len() as f32;
-                    for &p in pos {
-                        let src_row = h_src.row(p as usize);
-                        let dst_row = agg.row_mut(i);
-                        for (a, &s) in dst_row.iter_mut().zip(src_row) {
-                            *a += s * inv;
+                buffalo_par::parallel_rows(agg.data_mut(), dim, &par, |row0, chunk| {
+                    for (r, dst_row) in chunk.chunks_exact_mut(dim).enumerate() {
+                        let pos = block.src_positions(row0 + r);
+                        if pos.is_empty() {
+                            continue;
+                        }
+                        let inv = 1.0 / pos.len() as f32;
+                        for &p in pos {
+                            let src_row = h_src.row(p as usize);
+                            for (a, &s) in dst_row.iter_mut().zip(src_row) {
+                                *a += s * inv;
+                            }
                         }
                     }
-                }
+                });
                 (agg, AggCache::Mean)
             }
             AggregatorImpl::MaxPool { proj } => {
+                let par = buffalo_par::ambient();
                 let mut p = proj.forward(h_src);
                 let proj_mask = p.relu_inplace();
                 let mut agg = Tensor::zeros(n_dst, dim);
                 let mut argmax = vec![vec![u32::MAX; dim]; n_dst];
-                for (i, arg_row) in argmax.iter_mut().enumerate() {
-                    let pos = block.src_positions(i);
-                    if pos.is_empty() {
-                        continue;
-                    }
-                    for (d, slot) in arg_row.iter_mut().enumerate() {
-                        let mut best = f32::NEG_INFINITY;
-                        let mut best_p = u32::MAX;
-                        for &q in pos {
-                            let v = p.get(q as usize, d);
-                            if v > best {
-                                best = v;
-                                best_p = q;
-                            }
+                // Each destination row owns its agg row and argmax row, so
+                // row chunks can fill both in parallel; per element the max
+                // scan keeps block source order (first strict max wins).
+                let p_ref = &p;
+                let fill = |i0: usize, agg_chunk: &mut [f32], arg_chunk: &mut [Vec<u32>]| {
+                    let rows = agg_chunk.chunks_exact_mut(dim).zip(arg_chunk.iter_mut());
+                    for (r, (dst_row, arg_row)) in rows.enumerate() {
+                        let pos = block.src_positions(i0 + r);
+                        if pos.is_empty() {
+                            continue;
                         }
-                        agg.set(i, d, best);
-                        *slot = best_p;
+                        for (d, (out, slot)) in
+                            dst_row.iter_mut().zip(arg_row.iter_mut()).enumerate()
+                        {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_p = u32::MAX;
+                            for &q in pos {
+                                let v = p_ref.get(q as usize, d);
+                                if v > best {
+                                    best = v;
+                                    best_p = q;
+                                }
+                            }
+                            *out = best;
+                            *slot = best_p;
+                        }
                     }
+                };
+                let threads = par.effective_threads(n_dst);
+                if threads <= 1 || dim == 0 {
+                    fill(0, agg.data_mut(), &mut argmax);
+                } else {
+                    let chunk_rows = n_dst.div_ceil(threads);
+                    let fill = &fill;
+                    let tasks: Vec<buffalo_par::Task<'_>> = agg
+                        .data_mut()
+                        .chunks_mut(chunk_rows * dim)
+                        .zip(argmax.chunks_mut(chunk_rows))
+                        .enumerate()
+                        .map(|(ci, (ac, xc))| -> buffalo_par::Task<'_> {
+                            Box::new(move || fill(ci * chunk_rows, ac, xc))
+                        })
+                        .collect();
+                    buffalo_par::run_tasks(tasks, threads);
                 }
                 (
                     agg,
@@ -223,20 +255,35 @@ impl SageLayer {
         dh_src.scatter_add_rows(&dst_rows, &dh_dst);
         match (&mut self.agg, &cache.agg_cache) {
             (AggregatorImpl::Mean, AggCache::Mean) => {
-                for i in 0..n_dst {
-                    let pos = block.src_positions(i);
-                    if pos.is_empty() {
-                        continue;
-                    }
-                    let inv = 1.0 / pos.len() as f32;
-                    for &p in pos {
-                        let dst_row: Vec<f32> = d_agg.row(i).iter().map(|&g| g * inv).collect();
-                        let src_row = dh_src.row_mut(p as usize);
-                        for (s, g) in src_row.iter_mut().zip(dst_row) {
-                            *s += g;
+                // Scatter through the reverse (src → dst) index: each
+                // source row is written by exactly one thread and
+                // accumulates its destinations in ascending order — the
+                // same per-element order as the sequential scatter, so the
+                // gradient is bit-identical for any thread count.
+                let par = buffalo_par::ambient();
+                let rev = ReverseIndex::new(block);
+                let inv: Vec<f32> = (0..n_dst)
+                    .map(|i| {
+                        let d = block.in_degree(i);
+                        if d == 0 {
+                            0.0
+                        } else {
+                            1.0 / d as f32
+                        }
+                    })
+                    .collect();
+                let dim = self.in_dim;
+                let d_agg_ref = &d_agg;
+                buffalo_par::parallel_rows(dh_src.data_mut(), dim, &par, |row0, chunk| {
+                    for (r, src_row) in chunk.chunks_exact_mut(dim).enumerate() {
+                        for &i in rev.dsts_of(row0 + r) {
+                            let iv = inv[i as usize];
+                            for (s, &g) in src_row.iter_mut().zip(d_agg_ref.row(i as usize)) {
+                                *s += g * iv;
+                            }
                         }
                     }
-                }
+                });
             }
             (
                 AggregatorImpl::MaxPool { proj },
@@ -246,19 +293,56 @@ impl SageLayer {
                     argmax,
                 },
             ) => {
-                let mut dproj = Tensor::zeros(p_cached.rows(), self.in_dim);
-                for (i, arg_row) in argmax.iter().enumerate().take(n_dst) {
-                    for (d, &q) in arg_row.iter().enumerate() {
+                // Reverse map from winning projected row q to its (i, d)
+                // credit events, in the order the sequential loop visits
+                // them (ascending i, then d), so each dproj row can be
+                // replayed independently with bit-identical accumulation.
+                let rows_p = p_cached.rows();
+                let mut counts = vec![0usize; rows_p];
+                for arg_row in argmax.iter().take(n_dst) {
+                    for &q in arg_row {
                         if q != u32::MAX {
-                            let cur = dproj.get(q as usize, d);
-                            dproj.set(q as usize, d, cur + d_agg.get(i, d));
+                            counts[q as usize] += 1;
                         }
                     }
                 }
+                let mut offsets = Vec::with_capacity(rows_p + 1);
+                let mut total = 0usize;
+                offsets.push(0);
+                for &c in &counts {
+                    total += c;
+                    offsets.push(total);
+                }
+                let mut cursor = offsets[..rows_p].to_vec();
+                let mut events = vec![(0u32, 0u32); total];
+                for (i, arg_row) in argmax.iter().enumerate().take(n_dst) {
+                    for (d, &q) in arg_row.iter().enumerate() {
+                        if q != u32::MAX {
+                            let slot = &mut cursor[q as usize];
+                            events[*slot] = (i as u32, d as u32);
+                            *slot += 1;
+                        }
+                    }
+                }
+                let par = buffalo_par::ambient();
+                let dim = self.in_dim;
+                let mut dproj = Tensor::zeros(rows_p, dim);
+                let d_agg_ref = &d_agg;
+                let (events_ref, offsets_ref) = (&events, &offsets);
+                buffalo_par::parallel_rows(dproj.data_mut(), dim, &par, |row0, chunk| {
+                    for (r, row) in chunk.chunks_exact_mut(dim).enumerate() {
+                        let q = row0 + r;
+                        for &(i, d) in &events_ref[offsets_ref[q]..offsets_ref[q + 1]] {
+                            row[d as usize] += d_agg_ref.get(i as usize, d as usize);
+                        }
+                    }
+                });
                 dproj.relu_backward(proj_mask);
                 let dh_from_proj = proj.backward(&cache.h_src, &dproj);
                 dh_src.add_assign(&dh_from_proj);
             }
+            // The recurrent aggregator stays destination-major: its cost
+            // lives in the LstmCell matmuls, which are parallel internally.
             (AggregatorImpl::Lstm { cell }, AggCache::Lstm { buckets }) => {
                 for bucket in buckets {
                     let dh_final = d_agg.gather_rows(&bucket.dst_rows);

@@ -214,6 +214,7 @@ mod tests {
             fanouts: vec![4, 4],
             lr: 0.05,
             seed: 3,
+            parallelism: buffalo_par::Parallelism::auto(),
         }
     }
 

@@ -21,6 +21,7 @@ use crate::TrainError;
 use buffalo_bucketing::BuffaloScheduler;
 use buffalo_graph::datasets::Dataset;
 use buffalo_memsim::{CostModel, DeviceMemory, GnnShape, StageTimings};
+use buffalo_par::Parallelism;
 use buffalo_sampling::Batch;
 use buffalo_tensor::{Adam, Optimizer, Tensor};
 use pipeline::{run_pipeline, MicroSpec, PipelineRequest};
@@ -36,6 +37,10 @@ pub struct TrainConfig {
     pub lr: f32,
     /// Weight-initialization seed.
     pub seed: u64,
+    /// CPU kernel parallelism, installed process-wide at the start of
+    /// every iteration. Results are bit-identical for any setting (kernels
+    /// partition by disjoint output rows); only wall-clock time changes.
+    pub parallelism: Parallelism,
 }
 
 /// Per-iteration result of a real training step.
@@ -128,6 +133,7 @@ impl FullBatchTrainer {
         device: &DeviceMemory,
         cost: &CostModel,
     ) -> Result<IterationStats, TrainError> {
+        self.config.parallelism.install();
         device.free_all();
         device.reset_peak();
         self.model.zero_grad();
@@ -225,6 +231,7 @@ impl BuffaloTrainer {
         device: &DeviceMemory,
         cost: &CostModel,
     ) -> Result<IterationStats, TrainError> {
+        self.config.parallelism.install();
         device.free_all();
         device.reset_peak();
         let plan = self
@@ -288,6 +295,7 @@ mod tests {
             fanouts: vec![5, 5],
             lr: 0.01,
             seed: 99,
+            parallelism: Parallelism::auto(),
         };
         (ds, batch, config)
     }

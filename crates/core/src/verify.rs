@@ -140,6 +140,7 @@ mod tests {
             fanouts: vec![4, 6],
             lr: 0.02,
             seed: 5,
+            parallelism: buffalo_par::Parallelism::auto(),
         };
         let blocks =
             generate_blocks_fast(&batch.graph, batch.num_seeds, 2, GenerateOptions::default());

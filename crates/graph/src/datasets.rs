@@ -304,7 +304,9 @@ impl Dataset {
     }
 
     /// Fills `out` (length `nodes.len() * feat_dim`, row-major) with the
-    /// feature rows for `nodes`.
+    /// feature rows for `nodes`, parallelized over disjoint output rows via
+    /// the ambient [`buffalo_par`] configuration. Rows are generated
+    /// independently, so the result is identical for any thread count.
     ///
     /// # Panics
     ///
@@ -312,9 +314,14 @@ impl Dataset {
     pub fn gather_features(&self, nodes: &[NodeId], out: &mut [f32]) {
         let dim = self.spec.feat_dim;
         assert_eq!(out.len(), nodes.len() * dim, "output buffer size mismatch");
-        for (i, &v) in nodes.iter().enumerate() {
-            out[i * dim..(i + 1) * dim].copy_from_slice(&self.feature_row(v));
+        if dim == 0 {
+            return;
         }
+        buffalo_par::parallel_rows(out, dim, &buffalo_par::ambient(), |row0, chunk| {
+            for (r, row) in chunk.chunks_exact_mut(dim).enumerate() {
+                row.copy_from_slice(&self.feature_row(nodes[row0 + r]));
+            }
+        });
     }
 
     /// Bytes per node feature row (`feat_dim * 4`).

@@ -1,0 +1,156 @@
+//! The [`Parallelism`] configuration and its process-wide ambient copy.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default minimum output-row count before a kernel goes parallel; below
+/// it the per-task dispatch overhead outweighs the work.
+pub const DEFAULT_MIN_PARALLEL_ROWS: usize = 64;
+
+/// Default depth (k) tile for the blocked matmul kernels.
+pub const DEFAULT_TILE_K: usize = 64;
+
+/// Default width (n) tile for the blocked matmul kernels. A `tile_k ×
+/// tile_n` f32 panel of the right-hand matrix (32 KiB at the defaults)
+/// stays cache-resident while a thread sweeps its output rows.
+pub const DEFAULT_TILE_N: usize = 128;
+
+/// How the CPU compute kernels split their work: worker-thread count,
+/// the serial-fallback threshold, and cache-tile sizes.
+///
+/// None of these fields affect results — kernels partition by disjoint
+/// output rows and keep per-element accumulation order fixed — so any two
+/// configurations produce bit-identical tensors. They only trade off
+/// wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Total threads applied to a kernel, including the calling thread
+    /// (`1` = serial).
+    pub threads: usize,
+    /// Minimum output-row count before a kernel dispatches to the pool.
+    pub min_parallel_rows: usize,
+    /// Depth (k) tile of the blocked matmul kernels.
+    pub tile_k: usize,
+    /// Width (n) tile of the blocked matmul kernels.
+    pub tile_n: usize,
+}
+
+impl Parallelism {
+    /// Strictly serial execution.
+    pub fn serial() -> Self {
+        Parallelism {
+            threads: 1,
+            ..Self::auto()
+        }
+    }
+
+    /// `threads` workers with default threshold and tiles.
+    pub fn with_threads(threads: usize) -> Self {
+        Parallelism {
+            threads: threads.max(1),
+            ..Self::auto()
+        }
+    }
+
+    /// One thread per available CPU, default threshold and tiles.
+    pub fn auto() -> Self {
+        Parallelism {
+            threads: available_threads(),
+            min_parallel_rows: DEFAULT_MIN_PARALLEL_ROWS,
+            tile_k: DEFAULT_TILE_K,
+            tile_n: DEFAULT_TILE_N,
+        }
+    }
+
+    /// Threads a kernel with `rows` output rows should actually use:
+    /// `1` below the serial-fallback threshold, never more than `rows`.
+    pub fn effective_threads(&self, rows: usize) -> usize {
+        if self.threads <= 1 || rows < self.min_parallel_rows.max(1) {
+            1
+        } else {
+            self.threads.min(rows)
+        }
+    }
+
+    /// Installs this configuration as the process-wide ambient one that
+    /// [`ambient`] returns and every kernel without an explicit
+    /// configuration reads.
+    pub fn install(self) {
+        AMBIENT_THREADS.store(self.threads.max(1), Ordering::Relaxed);
+        AMBIENT_MIN_ROWS.store(self.min_parallel_rows.max(1), Ordering::Relaxed);
+        AMBIENT_TILE_K.store(self.tile_k.max(1), Ordering::Relaxed);
+        AMBIENT_TILE_N.store(self.tile_n.max(1), Ordering::Relaxed);
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+// Zero means "not installed": fall back to the `auto()` defaults.
+static AMBIENT_THREADS: AtomicUsize = AtomicUsize::new(0);
+static AMBIENT_MIN_ROWS: AtomicUsize = AtomicUsize::new(0);
+static AMBIENT_TILE_K: AtomicUsize = AtomicUsize::new(0);
+static AMBIENT_TILE_N: AtomicUsize = AtomicUsize::new(0);
+
+fn read_or(cell: &AtomicUsize, default: usize) -> usize {
+    match cell.load(Ordering::Relaxed) {
+        0 => default,
+        v => v,
+    }
+}
+
+/// The process-wide ambient configuration: the last one
+/// [installed](Parallelism::install), or [`Parallelism::auto`] if none
+/// has been.
+pub fn ambient() -> Parallelism {
+    Parallelism {
+        threads: read_or(&AMBIENT_THREADS, available_threads()),
+        min_parallel_rows: read_or(&AMBIENT_MIN_ROWS, DEFAULT_MIN_PARALLEL_ROWS),
+        tile_k: read_or(&AMBIENT_TILE_K, DEFAULT_TILE_K),
+        tile_n: read_or(&AMBIENT_TILE_N, DEFAULT_TILE_N),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_fallback_threshold_applies() {
+        let p = Parallelism {
+            threads: 8,
+            min_parallel_rows: 100,
+            tile_k: 4,
+            tile_n: 4,
+        };
+        assert_eq!(p.effective_threads(99), 1);
+        assert_eq!(p.effective_threads(100), 8);
+        assert_eq!(p.effective_threads(3), 1);
+        assert_eq!(Parallelism::serial().effective_threads(1 << 20), 1);
+    }
+
+    #[test]
+    fn effective_threads_never_exceed_rows() {
+        let p = Parallelism {
+            threads: 16,
+            min_parallel_rows: 1,
+            tile_k: 4,
+            tile_n: 4,
+        };
+        assert_eq!(p.effective_threads(5), 5);
+    }
+
+    #[test]
+    fn ambient_defaults_are_sane() {
+        let a = ambient();
+        assert!(a.threads >= 1);
+        assert!(a.tile_k >= 1 && a.tile_n >= 1);
+        assert!(a.min_parallel_rows >= 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! The CPU parallel-kernel runtime: a persistent scoped worker pool plus
+//! data-parallel helpers, built on `std` only.
+//!
+//! Every compute kernel in the workspace (dense matmul, per-destination
+//! aggregation, feature gather, block-row gather) parallelizes through this
+//! crate so one `--threads` setting governs them all. The design invariant
+//! is **disjoint-output determinism**: work is always partitioned by
+//! disjoint output rows (or columns), and every output element accumulates
+//! its terms in the same order regardless of thread count or tile size —
+//! so parallel results are bit-identical to serial ones, with no
+//! floating-point reassociation anywhere.
+//!
+//! Two layers:
+//!
+//! * [`Pool`] / [`global_pool`] — a lazily grown set of persistent worker
+//!   threads executing borrowed closures; [`Pool::run`] blocks until every
+//!   task finishes, so tasks may borrow from the caller's stack (the same
+//!   guarantee `std::thread::scope` gives, without per-call spawns).
+//! * [`Parallelism`] — the tunable configuration (worker threads,
+//!   serial-fallback threshold, matmul tile sizes) plus a process-wide
+//!   *ambient* copy that trainers install and kernels read.
+
+#![warn(missing_docs)]
+
+mod config;
+mod pool;
+
+pub use config::{ambient, Parallelism};
+pub use pool::{global_pool, parallel_for, parallel_rows, run_tasks, Pool, Task};

@@ -1,5 +1,12 @@
 //! 2-D row-major f32 tensor.
+//!
+//! The three GEMM kernels ([`Tensor::matmul`], [`Tensor::matmul_tn`],
+//! [`Tensor::matmul_nt`]) are cache-blocked and parallelized over disjoint
+//! output-row ranges through [`buffalo_par`]. Each output element always
+//! accumulates its terms in ascending-`p` order, so results are
+//! bit-identical for every thread count and tile size.
 
+use buffalo_par::{parallel_rows, Parallelism};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -91,80 +98,165 @@ impl Tensor {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
 
-    /// Matrix product `self × rhs` (`m×k · k×n = m×n`), cache-friendly
-    /// ikj ordering.
+    /// Matrix product `self × rhs` (`m×k · k×n = m×n`) with the ambient
+    /// [`Parallelism`]; see [`matmul_with`](Self::matmul_with).
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        self.matmul_with(rhs, &buffalo_par::ambient())
+    }
+
+    /// Matrix product `self × rhs` (`m×k · k×n = m×n`), cache-blocked and
+    /// parallelized over disjoint output-row ranges.
+    ///
+    /// Each output element accumulates `a[i][p] * b[p][j]` in ascending-`p`
+    /// order (zero `a` terms skipped) for every thread count and tile size,
+    /// so results are bit-identical across configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_with(&self, rhs: &Tensor, par: &Parallelism) -> Tensor {
         assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let o_row = out.row_mut(i);
-            for (p, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(p);
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        if m == 0 || n == 0 || k == 0 {
+            return out;
+        }
+        let tile_k = par.tile_k.max(1);
+        let tile_n = par.tile_n.max(1);
+        let a = &self.data;
+        let b = &rhs.data;
+        parallel_rows(&mut out.data, n, par, |row0, chunk| {
+            // k-tile outer so a tile_k × tile_n panel of B stays cache
+            // resident while the thread sweeps its rows. Per element the
+            // p order is still globally ascending: k-tiles ascend and p
+            // ascends within each.
+            for p0 in (0..k).step_by(tile_k) {
+                let p1 = (p0 + tile_k).min(k);
+                for j0 in (0..n).step_by(tile_n) {
+                    let j1 = (j0 + tile_n).min(n);
+                    for (r, o_row) in chunk.chunks_exact_mut(n).enumerate() {
+                        let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+                        let o_tile = &mut o_row[j0..j1];
+                        for p in p0..p1 {
+                            let av = a_row[p];
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let b_tile = &b[p * n + j0..p * n + j1];
+                            for (o, &bv) in o_tile.iter_mut().zip(b_tile) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
                 }
             }
-        }
+        });
         out
     }
 
-    /// `selfᵀ × rhs` (`k×m ᵀ · k×n = m×n`) without materializing the
-    /// transpose — the weight-gradient layout.
+    /// `selfᵀ × rhs` (`k×m ᵀ · k×n = m×n`) with the ambient
+    /// [`Parallelism`]; see [`matmul_tn_with`](Self::matmul_tn_with).
     ///
     /// # Panics
     ///
     /// Panics if row counts differ.
     pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        self.matmul_tn_with(rhs, &buffalo_par::ambient())
+    }
+
+    /// `selfᵀ × rhs` (`k×m ᵀ · k×n = m×n`) without materializing the
+    /// transpose — the weight-gradient layout. Cache-blocked, parallel
+    /// over disjoint output rows, ascending-`p` accumulation (zero terms
+    /// skipped): bit-identical for every thread count and tile size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn matmul_tn_with(&self, rhs: &Tensor, par: &Parallelism) -> Tensor {
         assert_eq!(self.rows, rhs.rows, "matmul_tn row mismatch");
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Tensor::zeros(m, n);
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = rhs.row(p);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = out.row_mut(i);
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        if m == 0 || n == 0 || k == 0 {
+            return out;
+        }
+        let tile_k = par.tile_k.max(1);
+        let tile_n = par.tile_n.max(1);
+        let a = &self.data; // k × m, read down column i
+        let b = &rhs.data;
+        parallel_rows(&mut out.data, n, par, |row0, chunk| {
+            for p0 in (0..k).step_by(tile_k) {
+                let p1 = (p0 + tile_k).min(k);
+                for j0 in (0..n).step_by(tile_n) {
+                    let j1 = (j0 + tile_n).min(n);
+                    for (r, o_row) in chunk.chunks_exact_mut(n).enumerate() {
+                        let i = row0 + r;
+                        let o_tile = &mut o_row[j0..j1];
+                        for p in p0..p1 {
+                            let av = a[p * m + i];
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let b_tile = &b[p * n + j0..p * n + j1];
+                            for (o, &bv) in o_tile.iter_mut().zip(b_tile) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
                 }
             }
-        }
-        let _ = m;
+        });
         out
     }
 
-    /// `self × rhsᵀ` (`m×k · n×k ᵀ = m×n`) — the input-gradient layout.
+    /// `self × rhsᵀ` (`m×k · n×k ᵀ = m×n`) with the ambient
+    /// [`Parallelism`]; see [`matmul_nt_with`](Self::matmul_nt_with).
     ///
     /// # Panics
     ///
     /// Panics if column counts differ.
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        self.matmul_nt_with(rhs, &buffalo_par::ambient())
+    }
+
+    /// `self × rhsᵀ` (`m×k · n×k ᵀ = m×n`) — the input-gradient layout.
+    /// Parallel over disjoint output rows and tiled over B rows; each
+    /// element is one full-depth dot product accumulated in ascending-`p`
+    /// order, so results are bit-identical for every thread count and
+    /// tile size (k is never split — that would reassociate the chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn matmul_nt_with(&self, rhs: &Tensor, par: &Parallelism) -> Tensor {
         assert_eq!(self.cols, rhs.cols, "matmul_nt column mismatch");
-        let (m, n) = (self.rows, rhs.rows);
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
         let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let o_row = out.row_mut(i);
-            for (j, o) in o_row.iter_mut().enumerate().take(n) {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        if m == 0 || n == 0 {
+            return out;
         }
+        let tile_n = par.tile_n.max(1);
+        let a = &self.data;
+        let b = &rhs.data;
+        parallel_rows(&mut out.data, n, par, |row0, chunk| {
+            for j0 in (0..n).step_by(tile_n) {
+                let j1 = (j0 + tile_n).min(n);
+                for (r, o_row) in chunk.chunks_exact_mut(n).enumerate() {
+                    let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+                    for (j, o) in o_row[j0..j1].iter_mut().enumerate() {
+                        let b_row = &b[(j0 + j) * k..(j0 + j + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (&av, &bv) in a_row.iter().zip(b_row) {
+                            acc += av * bv;
+                        }
+                        *o = acc;
+                    }
+                }
+            }
+        });
         out
     }
 
@@ -427,6 +519,100 @@ mod tests {
         let b = t(1, 2, &[2.0, 4.0]);
         a.add_scaled(&b, 0.5);
         assert_eq!(a.data(), &[1.0, 2.0]);
+    }
+
+    mod kernel_equivalence {
+        use super::*;
+        use buffalo_par::Parallelism;
+
+        /// Serial, whole-matrix tiles: structurally the straight-line
+        /// reference every configuration must match bitwise.
+        fn baseline() -> Parallelism {
+            Parallelism {
+                threads: 1,
+                min_parallel_rows: 1,
+                tile_k: usize::MAX,
+                tile_n: usize::MAX,
+            }
+        }
+
+        fn configs() -> Vec<Parallelism> {
+            let mut out = vec![baseline()];
+            for threads in [1, 2, 4, 8] {
+                for (tile_k, tile_n) in [(3, 5), (7, 3), (64, 128), (1, 1)] {
+                    out.push(Parallelism {
+                        threads,
+                        min_parallel_rows: 1,
+                        tile_k,
+                        tile_n,
+                    });
+                }
+            }
+            out
+        }
+
+        /// Sparse-ish values so the `a == 0.0` skip path is exercised.
+        fn sparse(rows: usize, cols: usize, seed: u64) -> Tensor {
+            let mut t = Tensor::xavier(rows, cols, seed);
+            for (i, v) in t.data_mut().iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *v = 0.0;
+                }
+            }
+            t
+        }
+
+        #[test]
+        fn matmul_bitwise_across_threads_and_tiles() {
+            let a = sparse(37, 19, 11);
+            let b = Tensor::xavier(19, 23, 12);
+            let want = a.matmul_with(&b, &baseline());
+            for cfg in configs() {
+                let got = a.matmul_with(&b, &cfg);
+                assert_eq!(got.data(), want.data(), "config {cfg:?}");
+            }
+        }
+
+        #[test]
+        fn matmul_tn_bitwise_across_threads_and_tiles() {
+            let a = sparse(19, 37, 13);
+            let b = Tensor::xavier(19, 23, 14);
+            let want = a.matmul_tn_with(&b, &baseline());
+            for cfg in configs() {
+                let got = a.matmul_tn_with(&b, &cfg);
+                assert_eq!(got.data(), want.data(), "config {cfg:?}");
+            }
+        }
+
+        #[test]
+        fn matmul_nt_bitwise_across_threads_and_tiles() {
+            let a = Tensor::xavier(37, 19, 15);
+            let b = Tensor::xavier(23, 19, 16);
+            let want = a.matmul_nt_with(&b, &baseline());
+            for cfg in configs() {
+                let got = a.matmul_nt_with(&b, &cfg);
+                assert_eq!(got.data(), want.data(), "config {cfg:?}");
+            }
+        }
+
+        #[test]
+        fn degenerate_shapes_are_safe() {
+            let cfg = Parallelism {
+                threads: 4,
+                min_parallel_rows: 1,
+                tile_k: 3,
+                tile_n: 3,
+            };
+            let a = Tensor::zeros(0, 5);
+            let b = Tensor::zeros(5, 4);
+            assert_eq!(a.matmul_with(&b, &cfg).data(), &[] as &[f32]);
+            let a = Tensor::zeros(3, 0);
+            let b = Tensor::zeros(0, 4);
+            assert_eq!(a.matmul_with(&b, &cfg).data(), &[0.0; 12]);
+            let a = Tensor::zeros(3, 0);
+            let b = Tensor::zeros(4, 0);
+            assert_eq!(a.matmul_nt_with(&b, &cfg).data(), &[0.0; 12]);
+        }
     }
 
     mod properties {

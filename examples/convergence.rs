@@ -21,6 +21,7 @@ fn main() {
             fanouts: vec![5, 10],
             lr: 0.01,
             seed: 77,
+            parallelism: buffalo::par::Parallelism::auto(),
         };
         // Probe the whole-batch footprint, then squeeze Buffalo.
         let unlimited = DeviceMemory::new(u64::MAX);

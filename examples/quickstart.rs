@@ -41,6 +41,7 @@ fn main() {
         fanouts: vec![5, 10],
         lr: 0.01,
         seed: 1,
+        parallelism: buffalo::par::Parallelism::auto(),
     };
     let cost = CostModel::rtx6000();
 

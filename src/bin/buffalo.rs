@@ -42,7 +42,7 @@ const USAGE: &str = "usage:
                    [--agg mean|pool|lstm|attention] [--fanouts 10,25]
   buffalo train    <dataset> [--budget 24G] [--epochs N] [--batch-size N]
                    [--hidden H] [--agg ...] [--fanouts 5,10] [--eval N]
-                   [--pipeline on|off]
+                   [--pipeline on|off] [--threads N]
   buffalo compare  <dataset> [--budget 24G] [--seeds N] [--hidden H] [--k K]";
 
 /// Parsed `--key value` options with positional arguments.
@@ -280,11 +280,19 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
         "train-nodes",
         (s.ds.graph.num_nodes() / 4).min(2_048).max(batch_size),
     )?;
+    let parallelism = match o.flags.get("threads") {
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
+            buffalo::par::Parallelism::with_threads(n)
+        }
+        None => buffalo::par::Parallelism::auto(),
+    };
     let config = buffalo::core::train::TrainConfig {
         shape: s.shape.clone(),
         fanouts: s.fanouts.clone(),
         lr: o.get("lr", 0.01)?,
         seed: 17,
+        parallelism,
     };
     let pipeline = parse_pipeline(&o.get::<String>("pipeline", "off".into())?)?;
     let device = DeviceMemory::new(s.budget);

@@ -25,6 +25,7 @@ pub use buffalo_bucketing as bucketing;
 pub use buffalo_core as core;
 pub use buffalo_graph as graph;
 pub use buffalo_memsim as memsim;
+pub use buffalo_par as par;
 pub use buffalo_partition as partition;
 pub use buffalo_sampling as sampling;
 pub use buffalo_tensor as tensor;

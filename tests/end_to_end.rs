@@ -25,6 +25,7 @@ fn setup(
         fanouts: vec![4, 6],
         lr: 0.02,
         seed: 5,
+        parallelism: buffalo::par::Parallelism::auto(),
     };
     (ds, batch, config, CostModel::rtx6000())
 }

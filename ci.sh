@@ -25,6 +25,23 @@ if [ "$t1" != "$t4" ]; then
 fi
 echo "ci: --threads 1 and --threads 4 epoch tables identical"
 
+# Fault-injection smoke: a training run with injected transient faults
+# must complete end-to-end under the recovery ladder.
+cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 12M \
+  --faults 'transient:p=0.1,seed=7'
+
+# Retry-only recovery must not change the numerics: allocation happens
+# before any forward/backward work, so a transient-fault run's epoch table
+# (loss, accuracies) has to be byte-identical to the fault-free run.
+clean=$(cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 12M | grep -E '^\s+[0-9]')
+faulty=$(cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 12M --faults 'transient:p=0.3,seed=7' --max-retries 8 | grep -E '^\s+[0-9]')
+if [ "$clean" != "$faulty" ]; then
+  echo "ci: FAIL — training diverged between fault-free and transient-fault runs" >&2
+  printf 'fault-free:\n%s\nfaulty:\n%s\n' "$clean" "$faulty" >&2
+  exit 1
+fi
+echo "ci: fault-free and transient-fault epoch tables identical"
+
 # Kernel microbenchmarks; writes BENCH_kernels.json (includes host_threads
 # so single-core CI results are interpretable).
 cargo run -q --release -p buffalo-bench --bin figures -- kernels --quick

@@ -9,6 +9,7 @@ pub mod kernels;
 pub mod memwall;
 pub mod multigpu;
 pub mod pareto;
+pub mod robustness;
 pub mod tables;
 pub mod tiered;
 pub mod timing;
@@ -38,6 +39,7 @@ pub const ALL_IDS: &[&str] = &[
     "ablate-pipeline",
     "pipeline-train",
     "kernels",
+    "robustness",
 ];
 
 /// Runs one experiment by id.
@@ -71,6 +73,7 @@ pub fn run(id: &str, quick: bool) -> Result<(), String> {
         "ablate-pipeline" => ablation::pipeline(quick),
         "pipeline-train" => timing::pipeline_train(quick),
         "kernels" => kernels::kernels(quick),
+        "robustness" => robustness::robustness(quick),
         other => return Err(format!("unknown experiment id `{other}`")),
     }
     println!();

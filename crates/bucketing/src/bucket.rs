@@ -66,13 +66,25 @@ impl DegreeBucket {
 ///
 /// Panics if `cutoff == 0` or `num_seeds > batch.num_nodes()`.
 pub fn degree_bucketing(batch: &CsrGraph, num_seeds: usize, cutoff: usize) -> Vec<DegreeBucket> {
-    assert!(cutoff > 0, "cut-off degree must be positive");
     assert!(
         num_seeds <= batch.num_nodes(),
         "num_seeds exceeds batch size"
     );
+    let seeds: Vec<NodeId> = (0..num_seeds as NodeId).collect();
+    degree_bucketing_of(batch, &seeds, cutoff)
+}
+
+/// [`degree_bucketing`] over an arbitrary seed subset instead of the
+/// `0..num_seeds` prefix. Used by recovery re-splitting, which re-buckets
+/// just the seeds of one offending group.
+///
+/// # Panics
+///
+/// Panics if `cutoff == 0` or any seed id is out of range for `batch`.
+pub fn degree_bucketing_of(batch: &CsrGraph, seeds: &[NodeId], cutoff: usize) -> Vec<DegreeBucket> {
+    assert!(cutoff > 0, "cut-off degree must be positive");
     let mut by_degree: Vec<Vec<NodeId>> = vec![Vec::new(); cutoff + 1];
-    for v in 0..num_seeds as NodeId {
+    for &v in seeds {
         let d = batch.degree(v).min(cutoff);
         by_degree[d].push(v);
     }
@@ -176,6 +188,21 @@ mod tests {
         let buckets = degree_bucketing(&g, 6, 3);
         assert_eq!(buckets[0].degree, 0);
         assert_eq!(buckets[0].nodes, vec![0]);
+    }
+
+    #[test]
+    fn bucketing_of_subset_matches_prefix_bucketing() {
+        let g = degree_ladder();
+        // Subset {1, 3, 5}: degrees 1, 3, 5 → cutoff 3 merges 3 and 5.
+        let buckets = degree_bucketing_of(&g, &[1, 3, 5], 3);
+        let as_map: Vec<(usize, Vec<NodeId>)> = buckets
+            .iter()
+            .map(|b| (b.degree, b.nodes.clone()))
+            .collect();
+        assert_eq!(as_map, vec![(1, vec![1]), (3, vec![3, 5])]);
+        // The full prefix agrees with the classic entry point.
+        let all: Vec<NodeId> = (0..6).collect();
+        assert_eq!(degree_bucketing_of(&g, &all, 3), degree_bucketing(&g, 6, 3));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The Buffalo Scheduler (Algorithm 3).
 
-use crate::bucket::{degree_bucketing, detect_explosion, split_explosion_bucket};
+use crate::bucket::{degree_bucketing_of, detect_explosion, split_explosion_bucket, DegreeBucket};
 use crate::closure::{closure_counts, ClosureScratch};
 use crate::grouping::{mem_balanced_grouping, BucketEntry};
 use buffalo_graph::{CsrGraph, NodeId};
@@ -214,8 +214,41 @@ impl BuffaloScheduler {
         num_seeds: usize,
         mem_constraint: u64,
     ) -> Result<SchedulePlan, ScheduleError> {
+        let all_seeds: Vec<NodeId> = (0..num_seeds as NodeId).collect();
+        self.schedule_impl(batch, &all_seeds, mem_constraint, 1)
+    }
+
+    /// Re-schedules just one offending group's seeds into at least two
+    /// smaller groups. This is the recovery path after an execution-time
+    /// OOM: the plan-time estimate admitted the group but the device
+    /// refused it, so the `K = 1` fast path is skipped — keeping the group
+    /// whole would reproduce the same failure.
+    ///
+    /// The returned groups partition `seeds` exactly, so a trainer that
+    /// swaps them in for the failed micro-batch still trains every seed
+    /// exactly once per iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if no `K ≤ K_max` fits.
+    pub fn resplit_group(
+        &self,
+        batch: &CsrGraph,
+        seeds: &[NodeId],
+        mem_constraint: u64,
+    ) -> Result<SchedulePlan, ScheduleError> {
+        self.schedule_impl(batch, seeds, mem_constraint, 2)
+    }
+
+    fn schedule_impl(
+        &self,
+        batch: &CsrGraph,
+        all_seeds: &[NodeId],
+        mem_constraint: u64,
+        min_k: usize,
+    ) -> Result<SchedulePlan, ScheduleError> {
         let start = Instant::now();
-        let base = degree_bucketing(batch, num_seeds, self.cutoff());
+        let base = degree_bucketing_of(batch, all_seeds, self.cutoff());
         let explosion = detect_explosion(&base, self.options.explosion_factor);
         let mut scratch = ClosureScratch::default();
         let mut best_max_group = u64::MAX;
@@ -224,12 +257,11 @@ impl BuffaloScheduler {
         // subgraph as the micro-batch") and the smallest K worth trying —
         // the groups cover every seed, so their exact memories sum to at
         // least the whole-batch footprint.
-        let all_seeds: Vec<NodeId> = (0..num_seeds as NodeId).collect();
-        let whole_counts = closure_counts(batch, &all_seeds, self.shape.num_layers, &mut scratch);
+        let whole_counts = closure_counts(batch, all_seeds, self.shape.num_layers, &mut scratch);
         let whole_mem = mem_from_counts(&whole_counts, &self.shape);
-        if whole_mem <= mem_constraint {
+        if min_k <= 1 && whole_mem <= mem_constraint {
             return Ok(SchedulePlan {
-                groups: vec![all_seeds],
+                groups: vec![all_seeds.to_vec()],
                 group_estimates: vec![whole_mem],
                 k: 1,
                 split_explosion: false,
@@ -274,11 +306,7 @@ impl BuffaloScheduler {
         let mut i = 0;
         while i < entries.len() {
             if entries[i].mem_estimate > atom_target && entries[i].bucket.volume() > 1 {
-                split |= Some(
-                    base.iter()
-                        .position(|b| b.degree == entries[i].bucket.degree)
-                        .unwrap_or(usize::MAX),
-                ) == explosion;
+                split |= is_explosion_bucket(&base, explosion, entries[i].bucket.degree);
                 let parts = ((entries[i].mem_estimate / atom_target) as usize + 1)
                     .clamp(2, entries[i].bucket.volume());
                 let replacement: Vec<BucketEntry> =
@@ -375,6 +403,18 @@ impl BuffaloScheduler {
             k_max: self.options.k_max,
             best_max_group,
         })
+    }
+}
+
+/// Whether a bucket with `degree` is the flagged explosion bucket. The
+/// previous sentinel encoding (`Some(position().unwrap_or(usize::MAX)) ==
+/// explosion`) let a degree that is absent from `base` masquerade as the
+/// index `usize::MAX`; a direct match keeps "no explosion" and "bucket not
+/// found" unambiguous.
+fn is_explosion_bucket(base: &[DegreeBucket], explosion: Option<usize>, degree: usize) -> bool {
+    match explosion {
+        Some(ex) => base[ex].degree == degree,
+        None => false,
     }
 }
 
@@ -511,5 +551,72 @@ mod tests {
     fn rejects_fanout_shape_mismatch() {
         let shape = GnnShape::new(8, 8, 3, 2, AggregatorKind::Mean);
         let _ = BuffaloScheduler::new(shape, vec![10, 25], 0.2);
+    }
+
+    #[test]
+    fn resplit_partitions_the_offending_group() {
+        let (batch, c) = sample_batch();
+        let sched = scheduler(c);
+        let single = sched
+            .schedule(&batch.graph, batch.num_seeds, u64::MAX)
+            .unwrap()
+            .group_estimates[0];
+        let plan = sched
+            .schedule(&batch.graph, batch.num_seeds, single / 3)
+            .unwrap();
+        // Pretend the heaviest group OOM'd at runtime: re-split it against
+        // a tighter constraint.
+        let worst = (0..plan.groups.len())
+            .max_by_key(|&i| plan.group_estimates[i])
+            .unwrap();
+        let seeds = &plan.groups[worst];
+        let sub = sched
+            .resplit_group(&batch.graph, seeds, plan.group_estimates[worst] / 2)
+            .unwrap();
+        assert!(sub.k >= 2, "re-split must produce at least two groups");
+        let mut all: Vec<NodeId> = sub.groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut expected = seeds.clone();
+        expected.sort_unstable();
+        assert_eq!(all, expected, "re-split must partition exactly the seeds");
+    }
+
+    #[test]
+    fn resplit_never_returns_the_group_whole() {
+        // Even when the constraint would admit the whole group, resplit
+        // skips the K = 1 fast path: the device already refused this group
+        // once, so handing it back unchanged would loop forever.
+        let (batch, c) = sample_batch();
+        let sched = scheduler(c);
+        let seeds: Vec<NodeId> = (0..100).collect();
+        let sub = sched.resplit_group(&batch.graph, &seeds, u64::MAX).unwrap();
+        assert!(sub.k >= 2);
+        assert_eq!(sub.total_outputs(), 100);
+    }
+
+    #[test]
+    fn explosion_sentinel_handles_missing_and_absent_buckets() {
+        // Regression for the fragile `Some(position().unwrap_or(usize::MAX))
+        // == explosion` comparison: an absent degree must never match, with
+        // or without a flagged explosion bucket.
+        let base = vec![
+            DegreeBucket {
+                degree: 1,
+                nodes: vec![0],
+                split_index: None,
+            },
+            DegreeBucket {
+                degree: 5,
+                nodes: vec![1, 2, 3],
+                split_index: None,
+            },
+        ];
+        assert!(is_explosion_bucket(&base, Some(1), 5));
+        assert!(!is_explosion_bucket(&base, Some(1), 1));
+        // Degree absent from `base`: the old encoding compared
+        // Some(usize::MAX) against the explosion index.
+        assert!(!is_explosion_bucket(&base, Some(1), 999));
+        assert!(!is_explosion_bucket(&base, None, 999));
+        assert!(!is_explosion_bucket(&base, None, 5));
     }
 }

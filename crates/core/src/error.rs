@@ -1,5 +1,6 @@
 //! Error type for training runs.
 
+use crate::train::RecoveryEvent;
 use buffalo_bucketing::ScheduleError;
 use buffalo_memsim::OomError;
 use buffalo_partition::BettyError;
@@ -22,6 +23,14 @@ pub enum TrainError {
         /// Number of output nodes available.
         num_outputs: usize,
     },
+    /// Every rung of the recovery ladder failed for one micro-batch.
+    RecoveryExhausted {
+        /// Every recovery action taken this iteration, in order, ending
+        /// with [`RecoveryAction::Exhausted`](crate::train::RecoveryAction::Exhausted).
+        events: Vec<RecoveryEvent>,
+        /// The device refusal that ended recovery.
+        last: OomError,
+    },
 }
 
 impl fmt::Display for TrainError {
@@ -37,6 +46,11 @@ impl fmt::Display for TrainError {
                 f,
                 "invalid micro-batch count {requested} for {num_outputs} outputs"
             ),
+            TrainError::RecoveryExhausted { events, last } => write!(
+                f,
+                "OOM recovery exhausted after {} actions: {last}",
+                events.len()
+            ),
         }
     }
 }
@@ -48,6 +62,7 @@ impl std::error::Error for TrainError {
             TrainError::Schedule(e) => Some(e),
             TrainError::Betty(e) => Some(e),
             TrainError::InvalidMicroBatches { .. } => None,
+            TrainError::RecoveryExhausted { last, .. } => Some(last),
         }
     }
 }
@@ -76,11 +91,7 @@ mod tests {
 
     #[test]
     fn displays_and_sources() {
-        let oom = OomError {
-            requested: 10,
-            in_use: 5,
-            budget: 12,
-        };
+        let oom = OomError::new(10, 5, 12);
         let e = TrainError::from(oom);
         assert!(e.to_string().contains("OOM"));
         assert!(std::error::Error::source(&e).is_some());

@@ -12,7 +12,7 @@ use crate::TrainError;
 use buffalo_blocks::{generate_blocks_checked, generate_blocks_fast, GenerateOptions};
 use buffalo_bucketing::BuffaloScheduler;
 use buffalo_graph::{CsrGraph, NodeId};
-use buffalo_memsim::{measure, CostModel, DeviceMemory, DeviceTimeline, GnnShape};
+use buffalo_memsim::{measure, CostModel, Device, DeviceTimeline, GnnShape};
 use buffalo_partition::{
     metis_kway, random_partition, range_partition, BettyPartitioner, MetisOptions,
 };
@@ -179,7 +179,7 @@ pub fn simulate_iteration(
     batch: &Batch,
     ctx: SimContext<'_>,
     strategy: Strategy,
-    device: &DeviceMemory,
+    device: &dyn Device,
     cost: &CostModel,
 ) -> Result<SimReport, TrainError> {
     device.free_all();
@@ -303,7 +303,7 @@ fn check_k(k: usize, num_outputs: usize) -> Result<(), TrainError> {
 mod tests {
     use super::*;
     use buffalo_graph::generators;
-    use buffalo_memsim::AggregatorKind;
+    use buffalo_memsim::{AggregatorKind, DeviceMemory};
     use buffalo_sampling::BatchSampler;
 
     struct Fixture {

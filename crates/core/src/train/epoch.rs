@@ -2,12 +2,12 @@
 //! with per-epoch loss/accuracy tracking and held-out evaluation.
 
 use crate::models::GnnModel;
-use crate::train::{gather_features, gather_labels, IterationStats, TrainConfig};
+use crate::train::{gather_features, gather_labels, IterationStats, RecoveryEvent, TrainConfig};
 use crate::TrainError;
 use buffalo_blocks::{generate_blocks_fast, GenerateOptions};
 use buffalo_graph::datasets::Dataset;
 use buffalo_graph::NodeId;
-use buffalo_memsim::{CostModel, DeviceMemory, StageTimings};
+use buffalo_memsim::{CostModel, Device, StageTimings};
 use buffalo_sampling::{Batch, BatchSampler, SeedBatches};
 use buffalo_tensor::softmax_cross_entropy;
 
@@ -24,7 +24,7 @@ pub trait IterationTrainer {
         &mut self,
         ds: &Dataset,
         batch: &Batch,
-        device: &DeviceMemory,
+        device: &dyn Device,
         cost: &CostModel,
     ) -> Result<IterationStats, TrainError>;
 
@@ -40,7 +40,7 @@ impl IterationTrainer for super::FullBatchTrainer {
         &mut self,
         ds: &Dataset,
         batch: &Batch,
-        device: &DeviceMemory,
+        device: &dyn Device,
         cost: &CostModel,
     ) -> Result<IterationStats, TrainError> {
         super::FullBatchTrainer::train_iteration(self, ds, batch, device, cost)
@@ -60,7 +60,7 @@ impl IterationTrainer for super::BuffaloTrainer {
         &mut self,
         ds: &Dataset,
         batch: &Batch,
-        device: &DeviceMemory,
+        device: &dyn Device,
         cost: &CostModel,
     ) -> Result<IterationStats, TrainError> {
         super::BuffaloTrainer::train_iteration(self, ds, batch, device, cost)
@@ -107,6 +107,10 @@ pub struct EpochStats {
     pub iterations: usize,
     /// Stage timings accumulated over the epoch's iterations.
     pub timings: StageTimings,
+    /// Recovery actions taken across the epoch's iterations, in order.
+    /// Empty unless the trainer has an enabled `RecoveryPolicy` and the
+    /// device refused an allocation.
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 /// Runs `cfg.epochs` epochs of mini-batch training.
@@ -122,7 +126,7 @@ pub struct EpochStats {
 pub fn run_epochs<T: IterationTrainer>(
     trainer: &mut T,
     ds: &Dataset,
-    device: &DeviceMemory,
+    device: &dyn Device,
     cost: &CostModel,
     cfg: &EpochConfig,
 ) -> Result<Vec<EpochStats>, TrainError> {
@@ -142,12 +146,14 @@ pub fn run_epochs<T: IterationTrainer>(
         );
         let (mut loss_sum, mut acc_sum, mut iters) = (0.0f64, 0.0f64, 0usize);
         let mut timings = StageTimings::default();
+        let mut recovery = Vec::new();
         for i in 0..batches.num_batches() {
             let batch = sampler.sample(&ds.graph, batches.batch(i), cfg.seed + i as u64);
             let stats = trainer.train_iteration(ds, &batch, device, cost)?;
             loss_sum += stats.loss as f64;
             acc_sum += stats.accuracy as f64;
             timings.accumulate(&stats.timings);
+            recovery.extend(stats.recovery);
             iters += 1;
         }
         let val_accuracy = (cfg.eval_nodes > 0).then(|| {
@@ -162,6 +168,7 @@ pub fn run_epochs<T: IterationTrainer>(
             val_accuracy,
             iterations: iters,
             timings,
+            recovery,
         });
     }
     Ok(out)
@@ -200,7 +207,7 @@ mod tests {
     use super::*;
     use crate::train::{BuffaloTrainer, FullBatchTrainer};
     use buffalo_graph::datasets::{self, DatasetName};
-    use buffalo_memsim::{AggregatorKind, GnnShape};
+    use buffalo_memsim::{AggregatorKind, DeviceMemory, GnnShape};
 
     fn config(ds: &Dataset) -> TrainConfig {
         TrainConfig {

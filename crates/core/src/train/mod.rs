@@ -12,15 +12,17 @@
 
 mod epoch;
 mod pipeline;
+pub(crate) mod recovery;
 
 pub use epoch::{evaluate, run_epochs, EpochConfig, EpochStats, IterationTrainer};
 pub use pipeline::PipelineConfig;
+pub use recovery::{HeadroomCalibrator, RecoveryAction, RecoveryEvent, RecoveryPolicy};
 
 use crate::models::GnnModel;
 use crate::TrainError;
 use buffalo_bucketing::BuffaloScheduler;
 use buffalo_graph::datasets::Dataset;
-use buffalo_memsim::{CostModel, DeviceMemory, GnnShape, StageTimings};
+use buffalo_memsim::{CostModel, Device, GnnShape, StageTimings};
 use buffalo_par::Parallelism;
 use buffalo_sampling::Batch;
 use buffalo_tensor::{Adam, Optimizer, Tensor};
@@ -56,6 +58,9 @@ pub struct IterationStats {
     pub peak_mem_bytes: u64,
     /// Per-stage timing breakdown, including the overlapped makespan.
     pub timings: StageTimings,
+    /// Recovery actions taken this iteration, in order. Empty unless a
+    /// [`RecoveryPolicy`] is enabled and the device refused an allocation.
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 /// Gathers the feature tensor for a (micro-)batch's innermost sources.
@@ -89,11 +94,14 @@ pub struct FullBatchTrainer {
     config: TrainConfig,
     opt: Adam,
     pipeline: PipelineConfig,
+    recovery: RecoveryPolicy,
 }
 
 impl FullBatchTrainer {
     /// Creates a trainer with a fresh model (serial staging — a whole
-    /// batch is one micro-batch, so there is nothing to overlap).
+    /// batch is one micro-batch, so there is nothing to overlap). OOM
+    /// recovery is disabled by default: a whole batch that does not fit
+    /// fails with [`TrainError::Oom`], reproducing the paper's OOM cells.
     pub fn new(config: TrainConfig) -> Self {
         let model = GnnModel::for_shape(&config.shape, config.seed);
         let opt = Adam::new(config.lr);
@@ -102,6 +110,7 @@ impl FullBatchTrainer {
             config,
             opt,
             pipeline: PipelineConfig::serial(),
+            recovery: RecoveryPolicy::disabled(),
         }
     }
 
@@ -121,6 +130,18 @@ impl FullBatchTrainer {
         self
     }
 
+    /// Sets the OOM recovery policy. The whole-batch path cannot
+    /// re-split, so only the retry rungs apply.
+    pub fn set_recovery(&mut self, recovery: RecoveryPolicy) {
+        self.recovery = recovery;
+    }
+
+    /// Builder-style [`set_recovery`](Self::set_recovery).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
     /// Trains one iteration on `batch`.
     ///
     /// # Errors
@@ -130,7 +151,7 @@ impl FullBatchTrainer {
         &mut self,
         ds: &Dataset,
         batch: &Batch,
-        device: &DeviceMemory,
+        device: &dyn Device,
         cost: &CostModel,
     ) -> Result<IterationStats, TrainError> {
         self.config.parallelism.install();
@@ -143,11 +164,15 @@ impl FullBatchTrainer {
                 ds,
                 batch,
                 specs: &[MicroSpec::Whole],
+                estimates: &[],
                 shape: &self.config.shape,
                 grad_divisor: batch.num_seeds,
                 device,
                 cost,
                 pipeline: self.pipeline,
+                policy: &self.recovery,
+                scheduler: None,
+                calibrator: None,
                 schedule_seconds: 0.0,
             },
         )?;
@@ -158,6 +183,7 @@ impl FullBatchTrainer {
             num_micro_batches: outcome.micro_batches,
             peak_mem_bytes: device.peak(),
             timings: outcome.timings,
+            recovery: outcome.recovery,
         })
     }
 }
@@ -175,13 +201,17 @@ pub struct BuffaloTrainer {
     opt: Adam,
     scheduler: BuffaloScheduler,
     pipeline: PipelineConfig,
+    recovery: RecoveryPolicy,
+    calibrator: HeadroomCalibrator,
 }
 
 impl BuffaloTrainer {
     /// Creates a trainer with serial staging. `clustering` is the
     /// dataset's average clustering coefficient `C` (Table II), consumed
     /// by the redundancy-aware memory estimator. Enable overlap with
-    /// [`with_pipeline`](Self::with_pipeline).
+    /// [`with_pipeline`](Self::with_pipeline) and OOM recovery with
+    /// [`with_recovery`](Self::with_recovery) (disabled by default, so an
+    /// execution-time OOM is terminal exactly as before).
     pub fn new(config: TrainConfig, clustering: f64) -> Self {
         let model = GnnModel::for_shape(&config.shape, config.seed);
         let opt = Adam::new(config.lr);
@@ -193,6 +223,8 @@ impl BuffaloTrainer {
             opt,
             scheduler,
             pipeline: PipelineConfig::serial(),
+            recovery: RecoveryPolicy::disabled(),
+            calibrator: HeadroomCalibrator::default(),
         }
     }
 
@@ -217,45 +249,76 @@ impl BuffaloTrainer {
         self
     }
 
+    /// Sets the OOM recovery policy and re-seeds the headroom calibrator
+    /// from its `headroom` floor.
+    pub fn set_recovery(&mut self, recovery: RecoveryPolicy) {
+        self.calibrator = HeadroomCalibrator::new(recovery.headroom);
+        self.recovery = recovery;
+    }
+
+    /// Builder-style [`set_recovery`](Self::set_recovery).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.set_recovery(recovery);
+        self
+    }
+
+    /// The calibrator's current headroom multiplier: scheduling
+    /// constraints are `budget / multiplier`.
+    pub fn headroom_multiplier(&self) -> f64 {
+        self.calibrator.multiplier()
+    }
+
     /// Trains one iteration on `batch` under the device budget.
     ///
     /// # Errors
     ///
     /// * [`TrainError::Schedule`] if no feasible grouping exists.
     /// * [`TrainError::Oom`] if a micro-batch still exceeds the budget
-    ///   (estimator under-prediction).
+    ///   (estimator under-prediction) and recovery is disabled.
+    /// * [`TrainError::RecoveryExhausted`] if recovery is enabled and
+    ///   every rung of the ladder failed.
     pub fn train_iteration(
         &mut self,
         ds: &Dataset,
         batch: &Batch,
-        device: &DeviceMemory,
+        device: &dyn Device,
         cost: &CostModel,
     ) -> Result<IterationStats, TrainError> {
         self.config.parallelism.install();
         device.free_all();
         device.reset_peak();
+        // The calibrated constraint: `budget / multiplier`, which is the
+        // plain budget until the calibrator has seen an under-prediction.
+        let constraint = self.calibrator.constrain(device.budget());
         let plan = self
             .scheduler
-            .schedule(&batch.graph, batch.num_seeds, device.budget())?;
+            .schedule(&batch.graph, batch.num_seeds, constraint)?;
         self.model.zero_grad();
         let total = batch.num_seeds;
-        let specs: Vec<MicroSpec<'_>> = plan
-            .groups
-            .iter()
-            .filter(|g| !g.is_empty())
-            .map(|g| MicroSpec::Seeds(g))
-            .collect();
+        let mut specs: Vec<MicroSpec<'_>> = Vec::with_capacity(plan.groups.len());
+        let mut estimates: Vec<u64> = Vec::with_capacity(plan.groups.len());
+        for (i, g) in plan.groups.iter().enumerate() {
+            if g.is_empty() {
+                continue;
+            }
+            specs.push(MicroSpec::Seeds(g));
+            estimates.push(plan.group_estimates.get(i).copied().unwrap_or(0));
+        }
         let outcome = run_pipeline(
             &mut self.model,
             PipelineRequest {
                 ds,
                 batch,
                 specs: &specs,
+                estimates: &estimates,
                 shape: &self.config.shape,
                 grad_divisor: total,
                 device,
                 cost,
                 pipeline: self.pipeline,
+                policy: &self.recovery,
+                scheduler: self.recovery.enabled.then_some(&self.scheduler),
+                calibrator: self.recovery.enabled.then_some(&mut self.calibrator),
                 schedule_seconds: plan.scheduling_time.as_secs_f64(),
             },
         )?;
@@ -268,6 +331,7 @@ impl BuffaloTrainer {
             num_micro_batches: outcome.micro_batches,
             peak_mem_bytes: device.peak(),
             timings: outcome.timings,
+            recovery: outcome.recovery,
         })
     }
 }
@@ -277,7 +341,7 @@ mod tests {
     use super::*;
     use buffalo_blocks::{generate_blocks_fast, GenerateOptions};
     use buffalo_graph::datasets::{self, DatasetName};
-    use buffalo_memsim::{measure, AggregatorKind};
+    use buffalo_memsim::{measure, AggregatorKind, DeviceMemory};
     use buffalo_sampling::BatchSampler;
 
     fn small_setup() -> (Dataset, Batch, TrainConfig) {
@@ -451,11 +515,15 @@ mod tests {
                     ds: &ds,
                     batch: &batch,
                     specs: &specs,
+                    estimates: &[],
                     shape: &config.shape,
                     grad_divisor: batch.num_seeds,
                     device: &device,
                     cost: &cost,
                     pipeline: cfg,
+                    policy: &RecoveryPolicy::disabled(),
+                    scheduler: None,
+                    calibrator: None,
                     schedule_seconds: 0.0,
                 },
             )
@@ -505,6 +573,205 @@ mod tests {
         let b_stats = buffalo.train_iteration(&ds, &batch, &small, &cost).unwrap();
         assert!(b_stats.peak_mem_bytes <= small.budget());
         assert!(b_stats.peak_mem_bytes < full_stats.peak_mem_bytes);
+    }
+
+    #[test]
+    fn transient_faults_recover_bitwise_identical_to_fault_free() {
+        // Acceptance: under injected transient faults handled by the
+        // retry-only path, training completes with bit-identical losses to
+        // the fault-free run — allocation precedes all compute, so a retry
+        // repeats no work.
+        use buffalo_memsim::{FaultPlan, FaultyDevice};
+        let (ds, batch, config) = small_setup();
+        let cost = CostModel::rtx6000();
+        let budget = splitting_budget(&batch, &config.shape);
+        let clean = DeviceMemory::new(budget);
+        let faulty = FaultyDevice::new(
+            DeviceMemory::new(budget),
+            FaultPlan::parse("transient:nth=1,nth=3,nth=7,nth=12").unwrap(),
+        );
+        let mut a = BuffaloTrainer::new(config.clone(), 0.24);
+        let mut b = BuffaloTrainer::new(config, 0.24).with_recovery(RecoveryPolicy::default());
+        let mut recovered = 0usize;
+        for i in 0..5 {
+            let sa = a.train_iteration(&ds, &batch, &clean, &cost).unwrap();
+            let sb = b.train_iteration(&ds, &batch, &faulty, &cost).unwrap();
+            assert_eq!(sa.loss.to_bits(), sb.loss.to_bits(), "iter {i}");
+            assert_eq!(sa.accuracy.to_bits(), sb.accuracy.to_bits(), "iter {i}");
+            assert_eq!(sa.num_micro_batches, sb.num_micro_batches, "iter {i}");
+            assert!(sa.recovery.is_empty());
+            recovered += sb.recovery.len();
+        }
+        assert!(
+            recovered >= 4,
+            "expected >= 4 recovery events, saw {recovered}"
+        );
+        assert_eq!(faulty.counters().injected, 4);
+        // Transient faults say nothing about the estimator: headroom must
+        // stay at the floor so scheduling is unchanged.
+        assert_eq!(b.headroom_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn budget_shrink_triggers_resplit_and_completes() {
+        // Acceptance: a mid-iteration budget shrink must not let an
+        // `OomError` escape — the ladder re-splits the offending
+        // micro-batch and every seed still trains exactly once.
+        use buffalo_memsim::{FaultPlan, FaultyDevice};
+        let (ds, batch, config) = small_setup();
+        let cost = CostModel::rtx6000();
+        let budget = splitting_budget(&batch, &config.shape);
+        let faulty = FaultyDevice::new(
+            DeviceMemory::new(budget),
+            FaultPlan::parse("shrink:at=2,factor=0.55").unwrap(),
+        );
+        let baseline_k = {
+            let clean = DeviceMemory::new(budget);
+            let mut t = BuffaloTrainer::new(config.clone(), 0.24);
+            t.train_iteration(&ds, &batch, &clean, &cost)
+                .unwrap()
+                .num_micro_batches
+        };
+        let mut trainer =
+            BuffaloTrainer::new(config, 0.24).with_recovery(RecoveryPolicy::default());
+        let stats = trainer
+            .train_iteration(&ds, &batch, &faulty, &cost)
+            .unwrap();
+        assert!(
+            stats
+                .recovery
+                .iter()
+                .any(|e| matches!(e.action, RecoveryAction::Resplit { .. })),
+            "expected a re-split event, got {:?}",
+            stats.recovery
+        );
+        assert!(
+            stats.num_micro_batches > baseline_k,
+            "re-split should add micro-batches: {} vs baseline {baseline_k}",
+            stats.num_micro_batches
+        );
+        // All seeds trained exactly once: accuracy is a valid fraction and
+        // the loss is a finite mean over the full seed set.
+        assert!(stats.loss.is_finite());
+        assert!((0.0..=1.0).contains(&stats.accuracy));
+        // Peak never exceeded the budget in force at allocation time: the
+        // first micro-batch landed under the original budget, everything
+        // after the shrink fit the reduced one.
+        assert!(faulty.inner().peak() <= budget);
+    }
+
+    #[test]
+    fn exhausted_recovery_surfaces_the_event_trail() {
+        use buffalo_memsim::{FaultPlan, FaultyDevice};
+        let (ds, batch, config) = small_setup();
+        let cost = CostModel::rtx6000();
+        let budget = splitting_budget(&batch, &config.shape);
+        // Shrink to 1% of budget at the first allocation: nothing fits,
+        // re-splitting cannot help, recovery must exhaust.
+        let faulty = FaultyDevice::new(
+            DeviceMemory::new(budget),
+            FaultPlan::parse("shrink:at=1,factor=0.01").unwrap(),
+        );
+        let policy = RecoveryPolicy {
+            max_retries: 2,
+            ..RecoveryPolicy::default()
+        };
+        let mut trainer = BuffaloTrainer::new(config, 0.24).with_recovery(policy);
+        let err = trainer
+            .train_iteration(&ds, &batch, &faulty, &cost)
+            .unwrap_err();
+        match err {
+            TrainError::RecoveryExhausted {
+                ref events,
+                ref last,
+            } => {
+                assert!(events.len() >= 3, "trail too short: {events:?}");
+                assert!(events
+                    .iter()
+                    .any(|e| matches!(e.action, RecoveryAction::Retry { .. })));
+                assert!(matches!(
+                    events.last().unwrap().action,
+                    RecoveryAction::Exhausted
+                ));
+                assert!(!last.transient);
+                assert!(last.requested > last.budget);
+            }
+            other => panic!("expected RecoveryExhausted, got {other:?}"),
+        }
+        // The chain is inspectable through std::error::Error.
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn fault_plans_replay_identical_event_logs() {
+        // Acceptance: the same fault spec produces identical RecoveryEvent
+        // logs across runs — full determinism from the seed.
+        use buffalo_memsim::{FaultPlan, FaultyDevice};
+        let (ds, batch, config) = small_setup();
+        let cost = CostModel::rtx6000();
+        let budget = splitting_budget(&batch, &config.shape);
+        let run = || {
+            let faulty = FaultyDevice::new(
+                DeviceMemory::new(budget),
+                FaultPlan::parse("transient:p=0.12,seed=11").unwrap(),
+            );
+            let mut trainer =
+                BuffaloTrainer::new(config.clone(), 0.24).with_recovery(RecoveryPolicy {
+                    max_retries: 8,
+                    ..RecoveryPolicy::default()
+                });
+            let mut events = Vec::new();
+            let mut losses = Vec::new();
+            for _ in 0..4 {
+                let s = trainer
+                    .train_iteration(&ds, &batch, &faulty, &cost)
+                    .unwrap();
+                losses.push(s.loss.to_bits());
+                events.extend(s.recovery);
+            }
+            (events, losses, faulty.counters())
+        };
+        let (ev_a, loss_a, c_a) = run();
+        let (ev_b, loss_b, c_b) = run();
+        assert!(
+            !ev_a.is_empty(),
+            "p=0.12 over 4 iterations injected nothing"
+        );
+        assert_eq!(ev_a, ev_b, "event logs must replay identically");
+        assert_eq!(loss_a, loss_b);
+        assert_eq!(c_a, c_b);
+    }
+
+    #[test]
+    fn pipelined_recovery_degrades_then_matches_serial_losses() {
+        // A transient fault while double-buffered climbs the DegradeSerial
+        // rung first; the math is residency-independent, so losses still
+        // match the clean serial run bit-for-bit.
+        use buffalo_memsim::{FaultPlan, FaultyDevice};
+        let (ds, batch, config) = small_setup();
+        let cost = CostModel::rtx6000();
+        let budget = splitting_budget(&batch, &config.shape);
+        let clean = DeviceMemory::new(budget);
+        let faulty = FaultyDevice::new(
+            DeviceMemory::new(budget),
+            FaultPlan::parse("transient:nth=1").unwrap(),
+        );
+        let mut serial = BuffaloTrainer::new(config.clone(), 0.24);
+        let mut pipelined = BuffaloTrainer::new(config, 0.24)
+            .with_pipeline(PipelineConfig::overlapped())
+            .with_recovery(RecoveryPolicy::default());
+        let a = serial.train_iteration(&ds, &batch, &clean, &cost).unwrap();
+        let b = pipelined
+            .train_iteration(&ds, &batch, &faulty, &cost)
+            .unwrap();
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        assert!(
+            b.recovery
+                .iter()
+                .any(|e| matches!(e.action, RecoveryAction::DegradeSerial)),
+            "first-alloc fault under double buffering should degrade: {:?}",
+            b.recovery
+        );
     }
 
     #[test]

@@ -13,20 +13,29 @@
 //! Because Execute is in-order and single-threaded, gradient accumulation
 //! happens in exactly the same order as the serial path — pipelined and
 //! serial training produce **bit-identical** losses. The pipeline only
-//! changes *when* CPU preparation happens (overlapped with device work of
-//! the previous micro-batch) and *how long* micro-batch tensors stay
+//! changes *when* CPU preparation happens (overlapped with device compute
+//! of the previous micro-batch) and *how long* micro-batch tensors stay
 //! resident on the simulated device (double-buffered: the previous
 //! allocation is released only after the next one lands, falling back to
 //! serial residency when both do not fit).
+//!
+//! Execute is also where OOM **recovery** lives: the device allocation
+//! happens *before* any forward/backward work, so a refused micro-batch
+//! has contributed nothing to the gradients and every rung of the recovery
+//! ladder (degrade double-buffering → bounded retries → re-split) is free
+//! to re-attempt it without perturbing the math. A retry-only recovery is
+//! bit-identical to an undisturbed run; a re-split changes the micro-batch
+//! partition (and hence f32 summation order) but still trains every seed
+//! exactly once with the original gradient divisor.
 
 use crate::models::GnnModel;
+use crate::train::recovery::{HeadroomCalibrator, RecoveryAction, RecoveryEvent, RecoveryPolicy};
 use crate::TrainError;
 use buffalo_blocks::{GenerateOptions, PreparedBlocks};
+use buffalo_bucketing::BuffaloScheduler;
 use buffalo_graph::datasets::Dataset;
 use buffalo_graph::NodeId;
-use buffalo_memsim::{
-    measure, AllocId, CostModel, DeviceMemory, DeviceTimeline, GnnShape, StageTimings,
-};
+use buffalo_memsim::{measure, AllocId, CostModel, Device, DeviceTimeline, GnnShape, StageTimings};
 use buffalo_sampling::Batch;
 use buffalo_tensor::{softmax_cross_entropy, Tensor};
 use std::sync::mpsc;
@@ -90,6 +99,9 @@ pub(crate) struct PipelineOutcome {
     pub micro_batches: usize,
     /// Full timing breakdown, including the overlapped makespan.
     pub timings: StageTimings,
+    /// Recovery actions taken this iteration, in order. Empty in an
+    /// undisturbed run.
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 /// One work item for the Prepare stage.
@@ -155,13 +167,13 @@ fn prepare_one(
 /// at once; when both do not fit the budget, the policy degrades to serial
 /// residency for that handoff instead of faulting.
 struct Residency<'d> {
-    device: &'d DeviceMemory,
+    device: &'d dyn Device,
     double_buffer: bool,
     held: Option<AllocId>,
 }
 
 impl<'d> Residency<'d> {
-    fn new(device: &'d DeviceMemory, double_buffer: bool) -> Self {
+    fn new(device: &'d dyn Device, double_buffer: bool) -> Self {
         Residency {
             device,
             double_buffer,
@@ -182,19 +194,44 @@ impl<'d> Residency<'d> {
                 self.held = Some(id);
                 Ok(())
             }
-            Err(oom) => {
+            Err(first) => {
                 // Both micro-batches do not fit together: release the
                 // previous one first and retry once, serial-style.
                 match self.held.take() {
                     Some(prev) => {
                         self.device.free(prev);
-                        self.held = Some(self.device.alloc(bytes)?);
-                        Ok(())
+                        match self.device.alloc(bytes) {
+                            Ok(id) => {
+                                self.held = Some(id);
+                                Ok(())
+                            }
+                            Err(mut second) => {
+                                // Attribute both attempts: the caller sees
+                                // the solo-allocation failure, with the
+                                // co-resident attempt's numbers chained.
+                                second.first_attempt = Some(Box::new(first));
+                                Err(second.into())
+                            }
+                        }
                     }
-                    None => Err(oom.into()),
+                    None => Err(first.into()),
                 }
             }
         }
+    }
+
+    /// Drops double-buffering for the rest of the iteration, freeing any
+    /// held allocation. Returns `false` when already serial (so callers
+    /// can tell whether this rung of the recovery ladder did anything).
+    fn degrade_to_serial(&mut self) -> bool {
+        if !self.double_buffer {
+            return false;
+        }
+        self.double_buffer = false;
+        if let Some(id) = self.held.take() {
+            self.device.free(id);
+        }
+        true
     }
 
     fn release_after_step(&mut self) {
@@ -212,34 +249,6 @@ impl<'d> Residency<'d> {
     }
 }
 
-/// Runs the Execute stage for one prepared micro-batch: allocate, forward,
-/// loss, backward. Returns `(loss_sum, correct, compute_s, transfer_s)`.
-fn execute_one(
-    model: &mut GnnModel,
-    prepared: PreparedBlocks,
-    shape: &GnnShape,
-    grad_divisor: usize,
-    cost: &CostModel,
-    residency: &mut Residency<'_>,
-) -> Result<(f64, usize, f64, f64), TrainError> {
-    let (blocks, features, feat_dim, labels) = prepared.into_parts();
-    let mem = measure::training_memory(&blocks, shape);
-    residency.acquire(mem.total())?;
-    let features = Tensor::from_vec(features.len() / feat_dim, feat_dim, features);
-    let (logits, cache) = model.forward(&blocks, &features);
-    let out = softmax_cross_entropy(&logits, &labels, Some(grad_divisor));
-    model.backward(&blocks, &cache, &out.dlogits);
-    residency.release_after_step();
-    let compute = cost.training_seconds(&blocks, shape);
-    let transfer = cost.transfer_seconds(measure::transfer_bytes(&blocks, shape) as f64);
-    Ok((
-        out.loss as f64 * labels.len() as f64,
-        out.correct,
-        compute,
-        transfer,
-    ))
-}
-
 /// Everything one iteration's pipeline run needs besides the model: the
 /// data source, the work list, and the execution environment.
 pub(crate) struct PipelineRequest<'a> {
@@ -249,20 +258,227 @@ pub(crate) struct PipelineRequest<'a> {
     pub batch: &'a Batch,
     /// One entry per micro-batch, in gradient-accumulation order.
     pub specs: &'a [MicroSpec<'a>],
+    /// Plan-time memory estimate per spec, bytes (empty or zero entries
+    /// when no estimate exists, e.g. the whole-batch path). Feeds the
+    /// headroom calibrator on completion.
+    pub estimates: &'a [u64],
     /// Model shape (for memory/cost accounting).
     pub shape: &'a GnnShape,
     /// Loss-gradient divisor (total output nodes of the iteration).
     pub grad_divisor: usize,
     /// The simulated device to allocate on.
-    pub device: &'a DeviceMemory,
+    pub device: &'a dyn Device,
     /// The device cost model.
     pub cost: &'a CostModel,
     /// Staging mode.
     pub pipeline: PipelineConfig,
+    /// Execution-time OOM recovery limits.
+    pub policy: &'a RecoveryPolicy,
+    /// Scheduler for the re-split rung of the recovery ladder; `None`
+    /// disables re-splitting (e.g. the whole-batch trainer).
+    pub scheduler: Option<&'a BuffaloScheduler>,
+    /// Online headroom calibration fed by observed peaks and refusals.
+    pub calibrator: Option<&'a mut HeadroomCalibrator>,
     /// Serial scheduling prefix, seconds — it cannot overlap (the plan
     /// must exist before the first micro-batch can be prepared) and is
     /// folded into the reported timings.
     pub schedule_seconds: f64,
+}
+
+/// Immutable per-iteration context shared by every Execute call.
+struct ExecCtx<'a> {
+    ds: &'a Dataset,
+    batch: &'a Batch,
+    shape: &'a GnnShape,
+    grad_divisor: usize,
+    cost: &'a CostModel,
+    policy: &'a RecoveryPolicy,
+    scheduler: Option<&'a BuffaloScheduler>,
+}
+
+/// Mutable Execute-stage accumulators.
+struct ExecState<'d, 'c> {
+    residency: Residency<'d>,
+    timeline: DeviceTimeline,
+    timings: StageTimings,
+    loss_sum: f64,
+    correct: usize,
+    micro_batches: usize,
+    events: Vec<RecoveryEvent>,
+    calibrator: Option<&'c mut HeadroomCalibrator>,
+}
+
+impl ExecState<'_, '_> {
+    fn record_event(&mut self, action: RecoveryAction, oom: &buffalo_memsim::OomError) {
+        self.events.push(RecoveryEvent {
+            micro_batch: self.micro_batches,
+            action,
+            requested: oom.requested,
+            in_use: oom.in_use,
+            budget: oom.budget,
+            transient: oom.transient,
+        });
+    }
+}
+
+/// One prepared micro-batch queued for execution.
+struct MicroWork<'s> {
+    /// Seconds spent restricting the batch to this micro-batch's seeds.
+    restrict_s: f64,
+    /// The generated blocks, gathered features, and labels.
+    prepared: PreparedBlocks,
+    /// The micro-batch's seed group when known (required for the
+    /// re-split rung of the recovery ladder).
+    seeds: Option<&'s [NodeId]>,
+    /// Plan-time memory estimate, bytes (0 when unknown).
+    estimate: u64,
+    /// Current re-split recursion depth.
+    depth: usize,
+}
+
+/// Executes one prepared micro-batch, climbing the recovery ladder on
+/// device refusal.
+fn consume_one(
+    model: &mut GnnModel,
+    ctx: &ExecCtx<'_>,
+    st: &mut ExecState<'_, '_>,
+    work: MicroWork<'_>,
+) -> Result<(), TrainError> {
+    let MicroWork {
+        restrict_s,
+        prepared,
+        seeds,
+        estimate,
+        depth,
+    } = work;
+    let block_gen = restrict_s + prepared.block_gen_seconds();
+    let gather = prepared.gather_seconds();
+    let (blocks, features, feat_dim, labels) = prepared.into_parts();
+    let bytes = measure::training_memory(&blocks, ctx.shape).total();
+    let mut attempt = 0usize;
+    let mut observed_oom = false;
+    let oom = loop {
+        match st.residency.acquire(bytes) {
+            Ok(()) => break None,
+            Err(TrainError::Oom(oom)) => {
+                if !ctx.policy.enabled {
+                    return Err(TrainError::Oom(oom));
+                }
+                // A genuine refusal (not an injected transient fault) is
+                // evidence about the estimator: grow the safety margin so
+                // subsequent scheduling leaves headroom. One incident is
+                // one piece of evidence — retries of the same refusal do
+                // not compound it.
+                if !oom.transient && !observed_oom {
+                    observed_oom = true;
+                    if let Some(cal) = st.calibrator.as_deref_mut() {
+                        cal.observe_oom();
+                    }
+                }
+                // Rung 1: stop holding two micro-batches resident.
+                if st.residency.degrade_to_serial() {
+                    st.record_event(RecoveryAction::DegradeSerial, &oom);
+                    continue;
+                }
+                // Rung 2: bounded pure retries. Allocation precedes all
+                // compute, so a retry repeats no work and perturbs no
+                // gradient. Transient faults back off exponentially.
+                if attempt < ctx.policy.max_retries {
+                    attempt += 1;
+                    let backoff = if oom.transient {
+                        ctx.policy.backoff_base * (1u32 << (attempt - 1).min(16))
+                    } else {
+                        std::time::Duration::ZERO
+                    };
+                    st.record_event(RecoveryAction::Retry { attempt, backoff }, &oom);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    continue;
+                }
+                // Rung 3: re-split this micro-batch into smaller groups.
+                break Some(oom);
+            }
+            Err(other) => return Err(other),
+        }
+    };
+    if let Some(oom) = oom {
+        if depth < ctx.policy.max_resplits {
+            if let (Some(scheduler), Some(seeds)) = (ctx.scheduler, seeds) {
+                if seeds.len() > 1 {
+                    let constraint = match st.calibrator.as_deref_mut() {
+                        Some(cal) => cal.constrain(st.residency.device.budget()),
+                        None => st.residency.device.budget(),
+                    };
+                    if let Ok(plan) = scheduler.resplit_group(&ctx.batch.graph, seeds, constraint) {
+                        st.record_event(
+                            RecoveryAction::Resplit {
+                                seeds: seeds.len(),
+                                into: plan.groups.len(),
+                            },
+                            &oom,
+                        );
+                        // The discarded preparation still happened:
+                        // account for it as prepare-only pipeline time.
+                        st.timeline.record(block_gen + gather, 0.0);
+                        st.timings.block_gen_seconds += block_gen;
+                        st.timings.gather_seconds += gather;
+                        for (i, group) in plan.groups.iter().filter(|g| !g.is_empty()).enumerate() {
+                            let (r_s, prep) = prepare_one(
+                                ctx.ds,
+                                ctx.batch,
+                                MicroSpec::Seeds(group),
+                                ctx.shape.num_layers,
+                            );
+                            let est = plan.group_estimates.get(i).copied().unwrap_or(0);
+                            consume_one(
+                                model,
+                                ctx,
+                                st,
+                                MicroWork {
+                                    restrict_s: r_s,
+                                    prepared: prep,
+                                    seeds: Some(group),
+                                    estimate: est,
+                                    depth: depth + 1,
+                                },
+                            )?;
+                        }
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        st.record_event(RecoveryAction::Exhausted, &oom);
+        return Err(TrainError::RecoveryExhausted {
+            events: st.events.clone(),
+            last: oom,
+        });
+    }
+    // Allocation landed: forward, loss, backward.
+    let features = Tensor::from_vec(features.len() / feat_dim, feat_dim, features);
+    let (logits, cache) = model.forward(&blocks, &features);
+    let out = softmax_cross_entropy(&logits, &labels, Some(ctx.grad_divisor));
+    model.backward(&blocks, &cache, &out.dlogits);
+    st.residency.release_after_step();
+    if estimate > 0 {
+        if let Some(cal) = st.calibrator.as_deref_mut() {
+            cal.observe(estimate, bytes);
+        }
+    }
+    let compute = ctx.cost.training_seconds(&blocks, ctx.shape);
+    let transfer = ctx
+        .cost
+        .transfer_seconds(measure::transfer_bytes(&blocks, ctx.shape) as f64);
+    st.timeline.record(block_gen + gather, compute + transfer);
+    st.timings.block_gen_seconds += block_gen;
+    st.timings.gather_seconds += gather;
+    st.timings.sim_compute_seconds += compute;
+    st.timings.sim_transfer_seconds += transfer;
+    st.loss_sum += out.loss as f64 * labels.len() as f64;
+    st.correct += out.correct;
+    st.micro_batches += 1;
+    Ok(())
 }
 
 /// Runs one iteration's micro-batches through the Prepare/Execute
@@ -275,79 +491,108 @@ pub(crate) fn run_pipeline(
         ds,
         batch,
         specs,
+        estimates,
         shape,
         grad_divisor,
         device,
         cost,
         pipeline,
+        policy,
+        scheduler,
+        calibrator,
         schedule_seconds,
     } = req;
     let depth = pipeline.effective_depth().min(specs.len().max(1));
     let num_layers = shape.num_layers;
-    let mut timeline = DeviceTimeline::new(depth);
-    let mut residency = Residency::new(device, depth > 1);
-    let mut timings = StageTimings {
-        schedule_seconds,
-        ..StageTimings::default()
+    let ctx = ExecCtx {
+        ds,
+        batch,
+        shape,
+        grad_divisor,
+        cost,
+        policy,
+        scheduler,
     };
-    let mut loss_sum = 0.0f64;
-    let mut correct = 0usize;
-    let mut micro_batches = 0usize;
-    // Consumes one prepared micro-batch, folding its stage times into the
-    // timeline. Shared by both execution modes so they stay bit-identical.
-    let mut consume = |model: &mut GnnModel,
-                       residency: &mut Residency<'_>,
-                       restrict_s: f64,
-                       prepared: PreparedBlocks|
-     -> Result<(), TrainError> {
-        let block_gen = restrict_s + prepared.block_gen_seconds();
-        let gather = prepared.gather_seconds();
-        let (l, c, compute, transfer) =
-            execute_one(model, prepared, shape, grad_divisor, cost, residency)?;
-        timeline.record(block_gen + gather, compute + transfer);
-        timings.block_gen_seconds += block_gen;
-        timings.gather_seconds += gather;
-        timings.sim_compute_seconds += compute;
-        timings.sim_transfer_seconds += transfer;
-        loss_sum += l;
-        correct += c;
-        micro_batches += 1;
-        Ok(())
+    let mut st = ExecState {
+        residency: Residency::new(device, depth > 1),
+        timeline: DeviceTimeline::new(depth),
+        timings: StageTimings {
+            schedule_seconds,
+            ..StageTimings::default()
+        },
+        loss_sum: 0.0,
+        correct: 0,
+        micro_batches: 0,
+        events: Vec::new(),
+        calibrator,
     };
-    if depth <= 1 {
-        for &spec in specs {
-            let (restrict_s, prepared) = prepare_one(ds, batch, spec, num_layers);
-            consume(model, &mut residency, restrict_s, prepared)?;
+    let spec_seeds = |idx: usize| -> Option<&[NodeId]> {
+        match specs[idx] {
+            MicroSpec::Whole => None,
+            MicroSpec::Seeds(s) => Some(s),
         }
+    };
+    let spec_estimate = |idx: usize| estimates.get(idx).copied().unwrap_or(0);
+    let result: Result<(), TrainError> = if depth <= 1 {
+        (|| {
+            for (idx, &spec) in specs.iter().enumerate() {
+                let (restrict_s, prepared) = prepare_one(ds, batch, spec, num_layers);
+                consume_one(
+                    model,
+                    &ctx,
+                    &mut st,
+                    MicroWork {
+                        restrict_s,
+                        prepared,
+                        seeds: spec_seeds(idx),
+                        estimate: spec_estimate(idx),
+                        depth: 0,
+                    },
+                )?;
+            }
+            Ok(())
+        })()
     } else {
-        let result: Result<(), TrainError> = std::thread::scope(|s| {
+        std::thread::scope(|s| {
             // Bounded channel: the producer stays at most `depth - 1`
             // prepared-but-unconsumed micro-batches ahead (host-side
             // staging); device residency is capped separately at two
             // allocations by `Residency`.
-            let (tx, rx) = mpsc::sync_channel::<(f64, PreparedBlocks)>(depth - 1);
+            let (tx, rx) = mpsc::sync_channel::<(usize, f64, PreparedBlocks)>(depth - 1);
             s.spawn(move || {
-                for &spec in specs {
-                    let item = prepare_one(ds, batch, spec, num_layers);
+                for (idx, &spec) in specs.iter().enumerate() {
+                    let (restrict_s, prepared) = prepare_one(ds, batch, spec, num_layers);
                     // The consumer hit an error and hung up: stop preparing.
-                    if tx.send(item).is_err() {
+                    if tx.send((idx, restrict_s, prepared)).is_err() {
                         break;
                     }
                 }
             });
-            for (restrict_s, prepared) in rx {
-                consume(model, &mut residency, restrict_s, prepared)?;
+            for (idx, restrict_s, prepared) in rx {
+                consume_one(
+                    model,
+                    &ctx,
+                    &mut st,
+                    MicroWork {
+                        restrict_s,
+                        prepared,
+                        seeds: spec_seeds(idx),
+                        estimate: spec_estimate(idx),
+                        depth: 0,
+                    },
+                )?;
             }
             Ok(())
-        });
-        result?;
-    }
-    residency.finish();
-    timings.overlapped_makespan = schedule_seconds + timeline.makespan();
+        })
+    };
+    result?;
+    st.residency.finish();
+    st.timings.overlapped_makespan = schedule_seconds + st.timeline.makespan();
     Ok(PipelineOutcome {
-        loss_sum,
-        correct,
-        micro_batches,
-        timings,
+        loss_sum: st.loss_sum,
+        correct: st.correct,
+        micro_batches: st.micro_batches,
+        timings: st.timings,
+        recovery: st.events,
     })
 }

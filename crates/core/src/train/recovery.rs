@@ -1,0 +1,280 @@
+//! OOM recovery policy, event trail, and estimator headroom calibration.
+//!
+//! The scheduler's Algorithm 3 guards against OOM at *plan* time; this
+//! module guards *execution* time, where an estimator under-prediction, an
+//! injected fault, or a mid-epoch budget shrink can still make the device
+//! refuse an allocation. On such a failure the pipeline climbs a recovery
+//! ladder (degrade double-buffering → bounded retries → re-split the
+//! micro-batch) and records every rung as a [`RecoveryEvent`]; only when
+//! the ladder is exhausted does a structured
+//! [`TrainError::RecoveryExhausted`](crate::TrainError::RecoveryExhausted)
+//! carrying the full trail reach the caller.
+
+use std::time::Duration;
+
+/// Limits and knobs for execution-time OOM recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Master switch. When `false`, any execution-time OOM propagates
+    /// immediately — the pre-recovery behavior and the trainers' default.
+    pub enabled: bool,
+    /// Pure retries of the same allocation before escalating. Retries are
+    /// safe because allocation happens *before* any forward/backward work:
+    /// a failed micro-batch has contributed nothing to the gradients.
+    pub max_retries: usize,
+    /// Recursive re-split depth: how many times one micro-batch may be
+    /// re-scheduled into smaller groups before giving up.
+    pub max_resplits: usize,
+    /// Base sleep for exponential backoff on *transient* faults (doubling
+    /// per retry). Keep at zero in tests and simulation; real transient
+    /// faults (fragmentation, co-tenant spikes) benefit from waiting.
+    pub backoff_base: Duration,
+    /// Initial headroom multiplier for the [`HeadroomCalibrator`]. `1.0`
+    /// means scheduling starts out trusting the estimator exactly.
+    pub headroom: f64,
+}
+
+impl RecoveryPolicy {
+    /// Recovery switched off: every OOM is terminal. This is the default
+    /// for trainers so that existing OOM semantics (the paper's "OOM"
+    /// table cells) are unchanged unless a caller opts in.
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            enabled: false,
+            ..RecoveryPolicy::default()
+        }
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            enabled: true,
+            max_retries: 3,
+            max_resplits: 2,
+            backoff_base: Duration::ZERO,
+            headroom: 1.0,
+        }
+    }
+}
+
+/// One rung of the recovery ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Double-buffered residency was dropped to serial so only one
+    /// micro-batch stays resident.
+    DegradeSerial,
+    /// The same allocation was retried.
+    Retry {
+        /// 1-based retry attempt number.
+        attempt: usize,
+        /// Backoff slept before this retry.
+        backoff: Duration,
+    },
+    /// The failing micro-batch was re-scheduled into smaller groups.
+    Resplit {
+        /// Seeds in the offending group.
+        seeds: usize,
+        /// Number of sub-groups it was split into.
+        into: usize,
+    },
+    /// No rung remained; the structured error was surfaced.
+    Exhausted,
+}
+
+impl std::fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryAction::DegradeSerial => write!(f, "degrade double-buffer to serial"),
+            RecoveryAction::Retry { attempt, backoff } => {
+                write!(f, "retry #{attempt} (backoff {backoff:?})")
+            }
+            RecoveryAction::Resplit { seeds, into } => {
+                write!(f, "re-split {seeds} seeds into {into} groups")
+            }
+            RecoveryAction::Exhausted => write!(f, "recovery exhausted"),
+        }
+    }
+}
+
+/// One recovery action taken in response to one device refusal, with the
+/// refusal's context attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// Index of the micro-batch (in execution order) that hit the fault.
+    pub micro_batch: usize,
+    /// The ladder rung taken.
+    pub action: RecoveryAction,
+    /// Bytes the failed allocation requested.
+    pub requested: u64,
+    /// Bytes in use on the device at refusal time.
+    pub in_use: u64,
+    /// Device budget at refusal time.
+    pub budget: u64,
+    /// Whether the refusal was an injected transient fault (retry-able)
+    /// rather than a genuine capacity shortfall.
+    pub transient: bool,
+}
+
+impl std::fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "micro-batch {}: {} (requested {} B, {} B in use, budget {} B{})",
+            self.micro_batch,
+            self.action,
+            self.requested,
+            self.in_use,
+            self.budget,
+            if self.transient { ", transient" } else { "" }
+        )
+    }
+}
+
+/// Online calibration of the memory estimator's safety margin.
+///
+/// The scheduler admits a group when its Eq.-2 estimate fits the
+/// constraint; if the device then refuses the allocation, the estimate was
+/// short. The calibrator tracks the worst observed actual/estimated ratio
+/// and scales *subsequent* scheduling constraints down by it
+/// (`constraint = budget / multiplier`), so near-misses teach the
+/// scheduler to leave headroom. Injected transient faults say nothing
+/// about the estimator and must not be fed in.
+///
+/// The multiplier starts at the configured floor (1.0 by default) and only
+/// grows on evidence, so a fault-free run with an accurate estimator
+/// schedules exactly as it would without the calibrator.
+#[derive(Debug, Clone)]
+pub struct HeadroomCalibrator {
+    multiplier: f64,
+    floor: f64,
+}
+
+/// Hard cap on the headroom multiplier: never hand the scheduler less
+/// than a quarter of the true budget, or recovery would spiral into
+/// absurdly small micro-batches.
+const HEADROOM_CAP: f64 = 4.0;
+
+impl HeadroomCalibrator {
+    /// Starts with `multiplier = floor` (clamped to `[1, 4]`).
+    pub fn new(floor: f64) -> Self {
+        let floor = floor.clamp(1.0, HEADROOM_CAP);
+        HeadroomCalibrator {
+            multiplier: floor,
+            floor,
+        }
+    }
+
+    /// The current safety multiplier.
+    pub fn multiplier(&self) -> f64 {
+        self.multiplier
+    }
+
+    /// The scheduling constraint to use for `budget` bytes of device
+    /// memory: `budget / multiplier`, never below 1 byte.
+    pub fn constrain(&self, budget: u64) -> u64 {
+        ((budget as f64 / self.multiplier) as u64).max(1)
+    }
+
+    /// Feeds one completed micro-batch: `estimated` bytes at plan time vs
+    /// `actual` bytes allocated. Ratchets the multiplier up to the worst
+    /// under-prediction seen.
+    pub fn observe(&mut self, estimated: u64, actual: u64) {
+        if estimated == 0 || actual <= estimated {
+            return;
+        }
+        let ratio = actual as f64 / estimated as f64;
+        self.multiplier = self.multiplier.max(ratio.min(HEADROOM_CAP));
+    }
+
+    /// Feeds one genuine (non-transient) device refusal for which no
+    /// estimate comparison is available: grow the margin geometrically.
+    pub fn observe_oom(&mut self) {
+        self.multiplier = (self.multiplier * 1.25).min(HEADROOM_CAP);
+    }
+
+    /// Resets to the starting floor.
+    pub fn reset(&mut self) {
+        self.multiplier = self.floor;
+    }
+}
+
+impl Default for HeadroomCalibrator {
+    fn default() -> Self {
+        HeadroomCalibrator::new(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_policy_is_default_off() {
+        let p = RecoveryPolicy::disabled();
+        assert!(!p.enabled);
+        assert!(RecoveryPolicy::default().enabled);
+    }
+
+    #[test]
+    fn calibrator_starts_neutral_and_ratchets() {
+        let mut c = HeadroomCalibrator::new(1.0);
+        assert_eq!(c.constrain(1000), 1000);
+        c.observe(100, 90); // over-prediction: no change
+        assert_eq!(c.multiplier(), 1.0);
+        c.observe(100, 150); // 1.5× under-prediction
+        assert!((c.multiplier() - 1.5).abs() < 1e-12);
+        assert_eq!(c.constrain(1500), 1000);
+        c.observe(100, 120); // milder: ratchet holds
+        assert!((c.multiplier() - 1.5).abs() < 1e-12);
+        c.observe(1, 100); // absurd ratio clamps at the cap
+        assert!((c.multiplier() - 4.0).abs() < 1e-12);
+        c.reset();
+        assert_eq!(c.multiplier(), 1.0);
+    }
+
+    #[test]
+    fn oom_observation_grows_geometrically_to_cap() {
+        let mut c = HeadroomCalibrator::default();
+        for _ in 0..20 {
+            c.observe_oom();
+        }
+        assert!((c.multiplier() - 4.0).abs() < 1e-12);
+        assert_eq!(c.constrain(4000), 1000);
+    }
+
+    #[test]
+    fn constrain_never_returns_zero() {
+        let mut c = HeadroomCalibrator::default();
+        c.observe_oom();
+        assert_eq!(c.constrain(0), 1);
+        assert_eq!(c.constrain(1), 1);
+    }
+
+    #[test]
+    fn events_display_their_context() {
+        let ev = RecoveryEvent {
+            micro_batch: 3,
+            action: RecoveryAction::Retry {
+                attempt: 2,
+                backoff: Duration::ZERO,
+            },
+            requested: 100,
+            in_use: 40,
+            budget: 120,
+            transient: true,
+        };
+        let s = ev.to_string();
+        assert!(s.contains("micro-batch 3"));
+        assert!(s.contains("retry #2"));
+        assert!(s.contains("transient"));
+        let s = RecoveryEvent {
+            action: RecoveryAction::Resplit { seeds: 64, into: 2 },
+            transient: false,
+            ..ev
+        }
+        .to_string();
+        assert!(s.contains("re-split 64 seeds into 2 groups"));
+        assert!(!s.contains("transient"));
+    }
+}

@@ -19,6 +19,28 @@ pub struct OomError {
     pub in_use: u64,
     /// Total device budget.
     pub budget: u64,
+    /// `true` when the failure was injected by a fault plan (see
+    /// [`FaultyDevice`](crate::FaultyDevice)) rather than a genuine budget
+    /// overflow — transient faults are worth retrying, overflows are not.
+    pub transient: bool,
+    /// When a double-buffered executor freed the previous micro-batch's
+    /// allocation and retried, the original failure (observed with the
+    /// previous allocation still resident) is preserved here so OOM
+    /// reports attribute both attempts.
+    pub first_attempt: Option<Box<OomError>>,
+}
+
+impl OomError {
+    /// A genuine (non-injected, first-attempt) out-of-memory failure.
+    pub fn new(requested: u64, in_use: u64, budget: u64) -> Self {
+        OomError {
+            requested,
+            in_use,
+            budget,
+            transient: false,
+            first_attempt: None,
+        }
+    }
 }
 
 impl fmt::Display for OomError {
@@ -27,11 +49,43 @@ impl fmt::Display for OomError {
             f,
             "out of device memory: requested {} B with {} B in use of {} B budget",
             self.requested, self.in_use, self.budget
-        )
+        )?;
+        if self.transient {
+            write!(f, " (injected transient fault)")?;
+        }
+        if let Some(first) = &self.first_attempt {
+            write!(f, "; first attempt failed with {} B in use", first.in_use)?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for OomError {}
+
+/// Object-safe view of a budgeted device: everything trainers and the
+/// simulation pipeline need from device memory, implemented by the plain
+/// [`DeviceMemory`] and by fault-injecting wrappers like
+/// [`FaultyDevice`](crate::FaultyDevice). Trainers accept `&dyn Device`,
+/// so any call site holding a `&DeviceMemory` keeps working unchanged.
+pub trait Device: Sync {
+    /// Attempts to allocate `bytes` (see [`DeviceMemory::alloc`]).
+    fn alloc(&self, bytes: u64) -> Result<AllocId, OomError>;
+    /// Releases a live allocation (see [`DeviceMemory::free`]).
+    fn free(&self, id: AllocId);
+    /// The current budget in bytes.
+    fn budget(&self) -> u64;
+    /// Replaces the budget without evicting anything; when shrunk below
+    /// current usage, allocations fail until enough is freed.
+    fn set_budget(&self, bytes: u64);
+    /// Bytes currently allocated.
+    fn in_use(&self) -> u64;
+    /// High-water mark since creation or the last [`reset_peak`](Device::reset_peak).
+    fn peak(&self) -> u64;
+    /// Resets the peak to the current usage.
+    fn reset_peak(&self);
+    /// Frees everything.
+    fn free_all(&self);
+}
 
 #[derive(Debug, Default)]
 struct State {
@@ -60,7 +114,7 @@ struct State {
 /// ```
 #[derive(Debug)]
 pub struct DeviceMemory {
-    budget: u64,
+    budget: AtomicU64,
     next_id: AtomicU64,
     state: Mutex<State>,
 }
@@ -69,7 +123,7 @@ impl DeviceMemory {
     /// Creates a device with `budget` bytes of memory.
     pub fn new(budget: u64) -> Self {
         DeviceMemory {
-            budget,
+            budget: AtomicU64::new(budget),
             next_id: AtomicU64::new(0),
             state: Mutex::new(State::default()),
         }
@@ -81,9 +135,19 @@ impl DeviceMemory {
         DeviceMemory::new((gib * (1u64 << 30) as f64) as u64)
     }
 
-    /// The configured budget in bytes.
+    /// The current budget in bytes.
     pub fn budget(&self) -> u64 {
-        self.budget
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Replaces the budget — the simulated equivalent of a co-tenant
+    /// process grabbing (or releasing) device memory, or fragmentation
+    /// shrinking the usable pool. Nothing is evicted: if the new budget is
+    /// below current usage, every allocation fails until enough is freed.
+    pub fn set_budget(&self, bytes: u64) {
+        // Taking the state lock orders the change against in-flight allocs.
+        let _st = self.lock();
+        self.budget.store(bytes, Ordering::Relaxed);
     }
 
     /// Mirrors `parking_lot` semantics: a panic while holding the lock
@@ -101,12 +165,9 @@ impl DeviceMemory {
     /// pool is unchanged on failure.
     pub fn alloc(&self, bytes: u64) -> Result<AllocId, OomError> {
         let mut st = self.lock();
-        if st.in_use + bytes > self.budget {
-            return Err(OomError {
-                requested: bytes,
-                in_use: st.in_use,
-                budget: self.budget,
-            });
+        let budget = self.budget.load(Ordering::Relaxed);
+        if st.in_use + bytes > budget {
+            return Err(OomError::new(bytes, st.in_use, budget));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         st.in_use += bytes;
@@ -156,6 +217,33 @@ impl DeviceMemory {
     /// Number of live allocations.
     pub fn live_allocations(&self) -> usize {
         self.lock().live.len()
+    }
+}
+
+impl Device for DeviceMemory {
+    fn alloc(&self, bytes: u64) -> Result<AllocId, OomError> {
+        DeviceMemory::alloc(self, bytes)
+    }
+    fn free(&self, id: AllocId) {
+        DeviceMemory::free(self, id);
+    }
+    fn budget(&self) -> u64 {
+        DeviceMemory::budget(self)
+    }
+    fn set_budget(&self, bytes: u64) {
+        DeviceMemory::set_budget(self, bytes);
+    }
+    fn in_use(&self) -> u64 {
+        DeviceMemory::in_use(self)
+    }
+    fn peak(&self) -> u64 {
+        DeviceMemory::peak(self)
+    }
+    fn reset_peak(&self) {
+        DeviceMemory::reset_peak(self);
+    }
+    fn free_all(&self) {
+        DeviceMemory::free_all(self);
     }
 }
 
@@ -225,6 +313,46 @@ mod tests {
         dev.free_all();
         assert_eq!(dev.in_use(), 0);
         assert_eq!(dev.live_allocations(), 0);
+    }
+
+    #[test]
+    fn set_budget_shrinks_without_evicting() {
+        let dev = DeviceMemory::new(100);
+        let a = dev.alloc(80).unwrap();
+        dev.set_budget(50);
+        assert_eq!(dev.budget(), 50);
+        // Nothing evicted; usage may exceed the shrunken budget.
+        assert_eq!(dev.in_use(), 80);
+        let err = dev.alloc(1).unwrap_err();
+        assert_eq!(err.budget, 50);
+        assert!(!err.transient);
+        dev.free(a);
+        assert!(dev.alloc(50).is_ok());
+        dev.set_budget(200);
+        assert!(dev.alloc(150).is_ok());
+    }
+
+    #[test]
+    fn trait_object_view_matches_inherent_api() {
+        let dev = DeviceMemory::new(100);
+        let d: &dyn Device = &dev;
+        let a = d.alloc(60).unwrap();
+        assert_eq!(d.in_use(), 60);
+        assert_eq!(d.budget(), 100);
+        d.free(a);
+        d.free_all();
+        d.reset_peak();
+        assert_eq!(d.peak(), 0);
+    }
+
+    #[test]
+    fn oom_display_mentions_fault_context() {
+        let mut e = OomError::new(10, 5, 12);
+        e.transient = true;
+        e.first_attempt = Some(Box::new(OomError::new(10, 9, 12)));
+        let s = e.to_string();
+        assert!(s.contains("injected transient fault"), "{s}");
+        assert!(s.contains("first attempt failed with 9 B"), "{s}");
     }
 
     #[test]

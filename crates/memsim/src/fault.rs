@@ -1,0 +1,426 @@
+//! Deterministic fault injection over the simulated device.
+//!
+//! A [`FaultPlan`] describes *when* allocations misbehave — transient
+//! alloc failures on specific allocation indices or with a seeded
+//! probability, and mid-run budget shrink/restore events simulating
+//! fragmentation or a co-tenant process. A [`FaultyDevice`] wraps a
+//! [`DeviceMemory`] and replays the plan on every `alloc` call.
+//!
+//! Everything is deterministic from the plan: the probabilistic stream
+//! comes from a SplitMix64 generator seeded by `FaultPlan::seed`, and all
+//! triggers key off the device's allocation counter. Two runs of the same
+//! training workload against the same plan inject exactly the same faults
+//! at exactly the same allocations.
+
+use crate::device::{AllocId, Device, DeviceMemory, OomError};
+use std::fmt;
+use std::sync::Mutex;
+
+/// A scheduled budget change: at the `at_alloc`-th allocation call
+/// (1-based, counted across the device's lifetime), the budget becomes
+/// `factor ×` the device's original budget. `factor = 1.0` restores it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetEvent {
+    /// Allocation index (1-based) at which the change takes effect.
+    pub at_alloc: u64,
+    /// Multiplier applied to the original budget.
+    pub factor: f64,
+}
+
+/// A deterministic fault schedule.
+///
+/// Build one directly, with the convenience constructors, or by parsing a
+/// CLI spec (see [`FaultPlan::parse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic transient-fault stream.
+    pub seed: u64,
+    /// Probability in `[0, 1)` that any given allocation fails with an
+    /// injected transient fault.
+    pub transient_prob: f64,
+    /// Specific allocation indices (1-based) that fail with an injected
+    /// transient fault, regardless of `transient_prob`.
+    pub fail_nth: Vec<u64>,
+    /// Scheduled budget shrink/restore events, sorted by `at_alloc`.
+    pub budget_events: Vec<BudgetEvent>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the identity wrapper).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            transient_prob: 0.0,
+            fail_nth: Vec::new(),
+            budget_events: Vec::new(),
+        }
+    }
+
+    /// Transient alloc failures with probability `p` from `seed`.
+    pub fn transient(p: f64, seed: u64) -> Self {
+        FaultPlan {
+            transient_prob: p,
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.transient_prob <= 0.0 && self.fail_nth.is_empty() && self.budget_events.is_empty()
+    }
+
+    /// Parses a CLI fault spec. Clauses are separated by `;`:
+    ///
+    /// * `transient:p=0.1,seed=7` — probabilistic transient failures;
+    /// * `transient:nth=5,nth=12` — fail exactly the 5th and 12th allocs;
+    /// * `shrink:at=10,factor=0.5,restore=30` — halve the budget at the
+    ///   10th alloc, restore it at the 30th (`restore` optional).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending clause or key.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
+            let (kind, params) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("fault clause `{clause}` needs `kind:key=value,...`"))?;
+            let mut pairs = Vec::new();
+            for kv in params.split(',').filter(|p| !p.trim().is_empty()) {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad fault parameter `{kv}` (want key=value)"))?;
+                pairs.push((k.trim(), v.trim()));
+            }
+            match kind.trim() {
+                "transient" => {
+                    for (k, v) in pairs {
+                        match k {
+                            "p" => {
+                                plan.transient_prob = parse_num(k, v)?;
+                                if !(0.0..1.0).contains(&plan.transient_prob) {
+                                    return Err(format!("transient p must be in [0,1): `{v}`"));
+                                }
+                            }
+                            "seed" => plan.seed = parse_num(k, v)?,
+                            "nth" => plan.fail_nth.push(parse_num(k, v)?),
+                            other => return Err(format!("unknown transient key `{other}`")),
+                        }
+                    }
+                }
+                "shrink" => {
+                    let (mut at, mut factor, mut restore) = (None, None, None);
+                    for (k, v) in pairs {
+                        match k {
+                            "at" => at = Some(parse_num(k, v)?),
+                            "factor" => factor = Some(parse_num(k, v)?),
+                            "restore" => restore = Some(parse_num(k, v)?),
+                            other => return Err(format!("unknown shrink key `{other}`")),
+                        }
+                    }
+                    let at: u64 = at.ok_or("shrink clause needs at=N")?;
+                    let factor: f64 = factor.ok_or("shrink clause needs factor=F")?;
+                    if !(0.0..=1.0).contains(&factor) {
+                        return Err(format!("shrink factor must be in [0,1]: {factor}"));
+                    }
+                    plan.budget_events.push(BudgetEvent {
+                        at_alloc: at,
+                        factor,
+                    });
+                    if let Some(r) = restore {
+                        plan.budget_events.push(BudgetEvent {
+                            at_alloc: r,
+                            factor: 1.0,
+                        });
+                    }
+                }
+                other => return Err(format!("unknown fault kind `{other}`")),
+            }
+        }
+        plan.fail_nth.sort_unstable();
+        plan.budget_events.sort_by_key(|e| e.at_alloc);
+        Ok(plan)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad fault value {key}={v}"))
+}
+
+/// Counters describing what a [`FaultyDevice`] has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Total `alloc` calls observed.
+    pub allocs: u64,
+    /// Transient faults injected.
+    pub injected: u64,
+    /// Budget events applied.
+    pub budget_changes: u64,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    rng: u64,
+    counters: FaultCounters,
+    events_applied: usize,
+}
+
+/// A fault-injecting wrapper over [`DeviceMemory`].
+///
+/// Implements [`Device`], so anything that takes `&dyn Device` — the
+/// trainers, `run_epochs`, the simulation harness — can run against it
+/// unchanged. Injected failures surface as [`OomError`]s with
+/// `transient: true`; budget events mutate the wrapped device through
+/// [`DeviceMemory::set_budget`].
+///
+/// # Examples
+///
+/// ```
+/// use buffalo_memsim::{Device, DeviceMemory, FaultPlan, FaultyDevice};
+///
+/// let plan = FaultPlan::parse("transient:nth=2").unwrap();
+/// let dev = FaultyDevice::new(DeviceMemory::new(1_000), plan);
+/// assert!(Device::alloc(&dev, 10).is_ok());
+/// let err = Device::alloc(&dev, 10).unwrap_err(); // the injected 2nd alloc
+/// assert!(err.transient);
+/// assert!(Device::alloc(&dev, 10).is_ok()); // transient: retry succeeds
+/// assert_eq!(dev.counters().injected, 1);
+/// ```
+#[derive(Debug)]
+pub struct FaultyDevice {
+    inner: DeviceMemory,
+    plan: FaultPlan,
+    original_budget: u64,
+    state: Mutex<FaultState>,
+}
+
+impl FaultyDevice {
+    /// Wraps `inner`, replaying `plan` against its allocation stream.
+    pub fn new(inner: DeviceMemory, plan: FaultPlan) -> Self {
+        let original_budget = inner.budget();
+        FaultyDevice {
+            inner,
+            original_budget,
+            state: Mutex::new(FaultState {
+                rng: splitmix_seed(plan.seed),
+                counters: FaultCounters::default(),
+                events_applied: 0,
+            }),
+            plan,
+        }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &DeviceMemory {
+        &self.inner
+    }
+
+    /// The plan being replayed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Fault counters so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.lock().counters
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl fmt::Display for FaultyDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.counters();
+        write!(
+            f,
+            "faulty device: {} allocs, {} injected faults, {} budget changes",
+            c.allocs, c.injected, c.budget_changes
+        )
+    }
+}
+
+impl Device for FaultyDevice {
+    fn alloc(&self, bytes: u64) -> Result<AllocId, OomError> {
+        let inject = {
+            let mut st = self.lock();
+            st.counters.allocs += 1;
+            let n = st.counters.allocs;
+            while st.events_applied < self.plan.budget_events.len()
+                && self.plan.budget_events[st.events_applied].at_alloc <= n
+            {
+                let ev = self.plan.budget_events[st.events_applied];
+                self.inner
+                    .set_budget((self.original_budget as f64 * ev.factor) as u64);
+                st.events_applied += 1;
+                st.counters.budget_changes += 1;
+            }
+            let mut inject = self.plan.fail_nth.binary_search(&n).is_ok();
+            if self.plan.transient_prob > 0.0 {
+                // Always draw, so the stream position depends only on the
+                // allocation index — not on which faults fired.
+                let draw = next_f64(&mut st.rng);
+                inject |= draw < self.plan.transient_prob;
+            }
+            if inject {
+                st.counters.injected += 1;
+            }
+            inject
+        };
+        if inject {
+            let mut e = OomError::new(bytes, self.inner.in_use(), self.inner.budget());
+            e.transient = true;
+            return Err(e);
+        }
+        self.inner.alloc(bytes)
+    }
+    fn free(&self, id: AllocId) {
+        self.inner.free(id);
+    }
+    fn budget(&self) -> u64 {
+        self.inner.budget()
+    }
+    fn set_budget(&self, bytes: u64) {
+        self.inner.set_budget(bytes);
+    }
+    fn in_use(&self) -> u64 {
+        self.inner.in_use()
+    }
+    fn peak(&self) -> u64 {
+        self.inner.peak()
+    }
+    fn reset_peak(&self) {
+        self.inner.reset_peak();
+    }
+    fn free_all(&self) {
+        self.inner.free_all();
+    }
+}
+
+/// SplitMix64: tiny, seedable, and plenty for fault schedules. Seeding
+/// with a fixed increment first decorrelates small user seeds.
+fn splitmix_seed(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1234_5678_9ABC_DEF0
+}
+
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn next_f64(state: &mut u64) -> f64 {
+    (next_u64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(dev: &FaultyDevice, n: usize, bytes: u64) -> Vec<bool> {
+        (0..n)
+            .map(|_| match Device::alloc(dev, bytes) {
+                Ok(id) => {
+                    Device::free(dev, id);
+                    true
+                }
+                Err(_) => false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn noop_plan_is_transparent() {
+        let dev = FaultyDevice::new(DeviceMemory::new(100), FaultPlan::none());
+        assert!(FaultPlan::none().is_noop());
+        assert!(drain(&dev, 10, 10).iter().all(|&ok| ok));
+        assert_eq!(dev.counters().injected, 0);
+        assert_eq!(dev.counters().allocs, 10);
+    }
+
+    #[test]
+    fn fail_nth_hits_exactly_those_allocs() {
+        let plan = FaultPlan::parse("transient:nth=2,nth=4").unwrap();
+        let dev = FaultyDevice::new(DeviceMemory::new(100), plan);
+        assert_eq!(drain(&dev, 5, 10), vec![true, false, true, false, true]);
+        assert_eq!(dev.counters().injected, 2);
+    }
+
+    #[test]
+    fn probabilistic_faults_are_deterministic_from_seed() {
+        let run = |seed: u64| {
+            let dev = FaultyDevice::new(DeviceMemory::new(100), FaultPlan::transient(0.3, seed));
+            drain(&dev, 200, 10)
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed must replay identically");
+        assert_ne!(a, run(8), "different seeds should differ");
+        let faults = a.iter().filter(|&&ok| !ok).count();
+        assert!(
+            (20..=100).contains(&faults),
+            "p=0.3 over 200 draws injected {faults}"
+        );
+    }
+
+    #[test]
+    fn budget_shrink_and_restore() {
+        let plan = FaultPlan::parse("shrink:at=3,factor=0.5,restore=5").unwrap();
+        let dev = FaultyDevice::new(DeviceMemory::new(100), plan);
+        assert!(Device::alloc(&dev, 80)
+            .map(|id| Device::free(&dev, id))
+            .is_ok());
+        assert!(Device::alloc(&dev, 80)
+            .map(|id| Device::free(&dev, id))
+            .is_ok());
+        // 3rd alloc: budget is now 50, and the error is NOT transient.
+        let err = Device::alloc(&dev, 80).unwrap_err();
+        assert!(!err.transient);
+        assert_eq!(err.budget, 50);
+        assert!(Device::alloc(&dev, 40)
+            .map(|id| Device::free(&dev, id))
+            .is_ok());
+        // 5th alloc: restored.
+        assert!(Device::alloc(&dev, 80).is_ok());
+        assert_eq!(dev.counters().budget_changes, 2);
+    }
+
+    #[test]
+    fn injected_faults_leave_state_untouched() {
+        let plan = FaultPlan::parse("transient:nth=1").unwrap();
+        let dev = FaultyDevice::new(DeviceMemory::new(100), plan);
+        let err = Device::alloc(&dev, 10).unwrap_err();
+        assert!(err.transient);
+        assert_eq!(dev.in_use(), 0);
+        assert_eq!(dev.inner().live_allocations(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("transient").is_err());
+        assert!(FaultPlan::parse("transient:p=2.0").is_err());
+        assert!(FaultPlan::parse("transient:bogus=1").is_err());
+        assert!(FaultPlan::parse("shrink:factor=0.5").is_err());
+        assert!(FaultPlan::parse("shrink:at=3,factor=1.5").is_err());
+        assert!(FaultPlan::parse("meteor:at=1").is_err());
+        assert!(FaultPlan::parse("transient:p").is_err());
+    }
+
+    #[test]
+    fn parse_combines_clauses() {
+        let plan = FaultPlan::parse("transient:p=0.1,seed=7;shrink:at=10,factor=0.25").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert!((plan.transient_prob - 0.1).abs() < 1e-12);
+        assert_eq!(
+            plan.budget_events,
+            vec![BudgetEvent {
+                at_alloc: 10,
+                factor: 0.25
+            }]
+        );
+        assert!(!plan.is_noop());
+    }
+}

@@ -24,12 +24,14 @@
 pub mod cost;
 mod device;
 pub mod estimate;
+mod fault;
 pub mod measure;
 mod shape;
 pub mod tiered;
 pub mod timeline;
 
 pub use cost::CostModel;
-pub use device::{AllocId, DeviceMemory, OomError};
+pub use device::{AllocId, Device, DeviceMemory, OomError};
+pub use fault::{BudgetEvent, FaultCounters, FaultPlan, FaultyDevice};
 pub use shape::{AggregatorKind, GnnShape};
 pub use timeline::{DeviceTimeline, StageTimings};

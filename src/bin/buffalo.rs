@@ -14,10 +14,14 @@
 
 use buffalo::bucketing::BuffaloScheduler;
 use buffalo::core::sim::{simulate_iteration, SimContext, Strategy};
-use buffalo::core::train::{run_epochs, BuffaloTrainer, EpochConfig, PipelineConfig};
+use buffalo::core::train::{
+    run_epochs, BuffaloTrainer, EpochConfig, PipelineConfig, RecoveryPolicy,
+};
 use buffalo::graph::datasets::{self, DatasetName};
 use buffalo::graph::{io, stats, CsrGraph, NodeId};
-use buffalo::memsim::{AggregatorKind, CostModel, DeviceMemory, GnnShape};
+use buffalo::memsim::{
+    AggregatorKind, CostModel, Device, DeviceMemory, FaultPlan, FaultyDevice, GnnShape,
+};
 use buffalo::sampling::{BatchSampler, SeedBatches};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -43,6 +47,10 @@ const USAGE: &str = "usage:
   buffalo train    <dataset> [--budget 24G] [--epochs N] [--batch-size N]
                    [--hidden H] [--agg ...] [--fanouts 5,10] [--eval N]
                    [--pipeline on|off] [--threads N]
+                   [--faults <spec>] [--max-retries N] [--headroom F]
+                   fault spec clauses (';'-separated):
+                     transient:p=0.1,seed=7   transient:nth=5
+                     shrink:at=10,factor=0.5,restore=20
   buffalo compare  <dataset> [--budget 24G] [--seeds N] [--hidden H] [--k K]";
 
 /// Parsed `--key value` options with positional arguments.
@@ -295,9 +303,35 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
         parallelism,
     };
     let pipeline = parse_pipeline(&o.get::<String>("pipeline", "off".into())?)?;
-    let device = DeviceMemory::new(s.budget);
+    // Fault injection and recovery. Recovery is enabled whenever any of
+    // its flags (or a fault spec) is given; a plain run keeps the classic
+    // fail-fast OOM semantics.
+    let fault_plan = match o.flags.get("faults") {
+        Some(spec) => Some(FaultPlan::parse(spec)?),
+        None => None,
+    };
+    let recovery_on = fault_plan.is_some()
+        || o.flags.contains_key("max-retries")
+        || o.flags.contains_key("headroom");
+    let faulty = fault_plan.map(|plan| FaultyDevice::new(DeviceMemory::new(s.budget), plan));
+    let plain;
+    let device: &dyn Device = match &faulty {
+        Some(f) => f,
+        None => {
+            plain = DeviceMemory::new(s.budget);
+            &plain
+        }
+    };
     let cost = CostModel::rtx6000();
     let mut trainer = BuffaloTrainer::new(config, s.clustering).with_pipeline(pipeline);
+    if recovery_on {
+        trainer.set_recovery(RecoveryPolicy {
+            enabled: true,
+            max_retries: o.get("max-retries", 3)?,
+            headroom: o.get("headroom", 1.0)?,
+            ..RecoveryPolicy::default()
+        });
+    }
     let cfg = EpochConfig {
         batch_size,
         epochs,
@@ -305,14 +339,16 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
         eval_nodes: eval_nodes.min(s.ds.graph.num_nodes().saturating_sub(train_nodes)),
         seed: 5,
     };
-    let stats = run_epochs(&mut trainer, &s.ds, &device, &cost, &cfg).map_err(|e| e.to_string())?;
+    let stats = run_epochs(&mut trainer, &s.ds, device, &cost, &cfg).map_err(|e| e.to_string())?;
     println!(
         "{:>6} {:>10} {:>10} {:>8} {:>6}",
         "epoch", "loss", "train acc", "val acc", "iters"
     );
     let mut timings = buffalo::memsim::StageTimings::default();
+    let mut recovery_events = 0usize;
     for e in stats {
         timings.accumulate(&e.timings);
+        recovery_events += e.recovery.len();
         println!(
             "{:>6} {:>10.4} {:>10.3} {:>8} {:>6}",
             e.epoch,
@@ -334,6 +370,20 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
         timings.overlapped_makespan,
         timings.speedup(),
     );
+    if let Some(f) = &faulty {
+        let c = f.counters();
+        println!(
+            "faults: {} injected over {} allocs, {} budget changes",
+            c.injected, c.allocs, c.budget_changes
+        );
+    }
+    if recovery_on {
+        println!(
+            "recovery: {} events, headroom multiplier {:.3}",
+            recovery_events,
+            trainer.headroom_multiplier()
+        );
+    }
     Ok(())
 }
 

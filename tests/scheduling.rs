@@ -150,6 +150,116 @@ fn scheduler_time_stays_interactive() {
 }
 
 #[test]
+fn k_min_above_k_max_exits_early_with_context() {
+    // A whole-batch footprint far above k_max * constraint makes even a
+    // perfect packing infeasible; the scheduler must bail out before the
+    // K search with the attempted constraint in the error.
+    let f = fixture(DatasetName::OgbnArxiv, 4_000, 128);
+    let scheduler = BuffaloScheduler::new(f.shape.clone(), vec![10, 25], f.clustering)
+        .with_options(SchedulerOptions {
+            k_max: 2,
+            explosion_factor: 2.0,
+            validate_exact: false,
+        });
+    let constraint = whole_mem(&f) / 100;
+    let err = scheduler
+        .schedule(&f.batch.graph, f.batch.num_seeds, constraint)
+        .expect_err("1% of whole within K=2 must be infeasible");
+    assert_eq!(err.mem_constraint, constraint);
+    assert_eq!(err.k_max, 2);
+    assert!(err.best_max_group > 0);
+}
+
+#[test]
+fn constraint_at_or_below_parameter_bytes_is_rejected() {
+    // Model parameters are resident for every micro-batch, so a constraint
+    // that leaves no room for activations can never be met, at any K.
+    let f = fixture(DatasetName::Cora, 256, 64);
+    let scheduler = BuffaloScheduler::new(f.shape.clone(), vec![10, 25], f.clustering);
+    let param_bytes = f.shape.parameter_bytes();
+    for constraint in [1, param_bytes / 2, param_bytes] {
+        let err = scheduler
+            .schedule(&f.batch.graph, f.batch.num_seeds, constraint)
+            .expect_err("constraint without activation room must fail");
+        assert_eq!(err.mem_constraint, constraint);
+        assert_eq!(err.best_max_group, param_bytes);
+    }
+}
+
+#[test]
+fn resplit_group_respects_k_max() {
+    // resplit_group starts its K search at 2, so a scheduler capped at
+    // K_max = 1 can never re-split — even with an unlimited budget.
+    let f = fixture(DatasetName::Cora, 256, 64);
+    let scheduler = BuffaloScheduler::new(f.shape.clone(), vec![10, 25], f.clustering)
+        .with_options(SchedulerOptions {
+            k_max: 1,
+            explosion_factor: 2.0,
+            validate_exact: true,
+        });
+    let seeds: Vec<NodeId> = (0..f.batch.num_seeds as NodeId).collect();
+    let err = scheduler
+        .resplit_group(&f.batch.graph, &seeds, u64::MAX)
+        .expect_err("K_max = 1 cannot satisfy a minimum of 2 groups");
+    assert_eq!(err.k_max, 1);
+}
+
+#[test]
+fn train_error_variants_display_and_chain_sources() {
+    use buffalo::core::train::{RecoveryAction, RecoveryEvent};
+    use buffalo::core::TrainError;
+    use buffalo::memsim::OomError;
+    use buffalo::partition::BettyError;
+    use std::error::Error as _;
+
+    let oom = OomError::new(100, 40, 120);
+    let e = TrainError::from(oom.clone());
+    assert!(e.to_string().contains("OOM"));
+    assert!(e.source().expect("Oom chains").to_string().contains("100"));
+
+    let f = fixture(DatasetName::Cora, 64, 32);
+    let scheduler = BuffaloScheduler::new(f.shape.clone(), vec![10, 25], f.clustering);
+    let sched_err = scheduler
+        .schedule(&f.batch.graph, f.batch.num_seeds, 1)
+        .expect_err("1-byte constraint is infeasible");
+    let e = TrainError::from(sched_err);
+    assert!(e.to_string().contains("scheduling failed"));
+    assert!(e
+        .source()
+        .expect("Schedule chains")
+        .to_string()
+        .contains("1 bytes"));
+
+    let e = TrainError::from(BettyError::ZeroInDegree { node: 7 });
+    assert!(e.to_string().contains("betty"));
+    assert!(e.source().expect("Betty chains").to_string().contains('7'));
+
+    let e = TrainError::InvalidMicroBatches {
+        requested: 9,
+        num_outputs: 3,
+    };
+    assert!(e.to_string().contains("9"));
+    assert!(e.source().is_none(), "InvalidMicroBatches has no cause");
+
+    let events = vec![RecoveryEvent {
+        micro_batch: 0,
+        action: RecoveryAction::Exhausted,
+        requested: 100,
+        in_use: 40,
+        budget: 120,
+        transient: false,
+    }];
+    let e = TrainError::RecoveryExhausted {
+        events,
+        last: oom.clone(),
+    };
+    let msg = e.to_string();
+    assert!(msg.contains("exhausted after 1 actions"), "got: {msg}");
+    let cause = e.source().expect("RecoveryExhausted chains the last OOM");
+    assert_eq!(cause.to_string(), oom.to_string());
+}
+
+#[test]
 fn k_max_of_one_disables_splitting() {
     let f = fixture(DatasetName::Cora, 256, 64);
     let scheduler = BuffaloScheduler::new(f.shape.clone(), vec![10, 25], f.clustering)

@@ -42,8 +42,30 @@ if [ "$clean" != "$faulty" ]; then
 fi
 echo "ci: fault-free and transient-fault epoch tables identical"
 
-# Kernel microbenchmarks; writes BENCH_kernels.json (includes host_threads
-# so single-core CI results are interpretable).
+# Crash-consistency smoke: a run killed by a torn mid-snapshot crash must
+# resume from the surviving ring and replay a loss trail bitwise identical
+# to an uninterrupted run's (`trail` lines carry the f32 bit patterns).
+ckdir=$(mktemp -d)
+ref=$(cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 12M \
+  --checkpoint-dir "$ckdir/ref" --checkpoint-every 2 | grep '^trail')
+if cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 12M \
+  --checkpoint-dir "$ckdir/crash" --checkpoint-every 2 \
+  --faults 'crash:at=4,torn=1' >/dev/null 2>&1; then
+  echo "ci: FAIL — injected crash did not kill the run" >&2
+  exit 1
+fi
+resumed=$(cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 12M \
+  --resume "$ckdir/crash" --checkpoint-every 2 | grep '^trail')
+if [ "$ref" != "$resumed" ]; then
+  echo "ci: FAIL — resumed loss trail differs from the uninterrupted run" >&2
+  diff <(printf '%s\n' "$ref") <(printf '%s\n' "$resumed") >&2 || true
+  exit 1
+fi
+rm -rf "$ckdir"
+echo "ci: crash+resume loss trail bitwise identical"
+
+# Kernel microbenchmarks (without --write-bench this prints the table but
+# leaves the committed BENCH_kernels.json untouched).
 cargo run -q --release -p buffalo-bench --bin figures -- kernels --quick
 
 echo "ci: all checks passed"

@@ -1,10 +1,11 @@
 //! Regenerates every table and figure of the Buffalo paper.
 //!
 //! ```text
-//! figures <id>...        run specific experiments (e.g. `figures fig10 tab3`)
-//! figures all            run everything
-//! figures --quick <id>   quarter-size batches, fewer sweep points
-//! figures --list         list experiment ids
+//! figures <id>...            run specific experiments (e.g. `figures fig10 tab3`)
+//! figures all                run everything
+//! figures --quick <id>       quarter-size batches, fewer sweep points
+//! figures --write-bench <id> also (re)write the experiment's BENCH_*.json
+//! figures --list             list experiment ids
 //! ```
 
 use buffalo_bench::experiments;
@@ -12,10 +13,12 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut quick = false;
+    let mut write_bench = false;
     let mut ids: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
+            "--write-bench" | "-w" => write_bench = true,
             "--list" | "-l" => {
                 for id in experiments::ALL_IDS {
                     println!("{id}");
@@ -27,12 +30,12 @@ fn main() -> ExitCode {
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: figures [--quick] <id>... | all | --list");
+        eprintln!("usage: figures [--quick] [--write-bench] <id>... | all | --list");
         eprintln!("ids: {}", experiments::ALL_IDS.join(", "));
         return ExitCode::FAILURE;
     }
     for id in &ids {
-        if let Err(e) = experiments::run(id, quick) {
+        if let Err(e) = experiments::run(id, quick, write_bench) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }

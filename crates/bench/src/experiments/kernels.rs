@@ -114,8 +114,9 @@ fn bench_aggregate(reps: usize) -> OpResult {
     }
 }
 
-/// Runs the kernel microbenchmarks and writes `BENCH_kernels.json`.
-pub fn kernels(quick: bool) {
+/// Runs the kernel microbenchmarks; with `write_bench` it also rewrites
+/// `BENCH_kernels.json`.
+pub fn kernels(quick: bool, write_bench: bool) {
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -151,9 +152,5 @@ pub fn kernels(quick: bool) {
         "{{\n  \"host_threads\": {host_threads},\n  \"parallel_threads\": {PARALLEL_THREADS},\n  \"note\": \"speedups are meaningful only when host_threads >= parallel_threads; on a 1-core host all configs time-slice one CPU\",\n  \"ops\": [\n{}\n  ]\n}}\n",
         ops.join(",\n")
     );
-    if let Err(e) = std::fs::write("BENCH_kernels.json", &json) {
-        eprintln!("warning: could not write BENCH_kernels.json: {e}");
-    } else {
-        println!("wrote BENCH_kernels.json");
-    }
+    crate::output::write_artifact("BENCH_kernels.json", &json, write_bench);
 }

@@ -3,6 +3,7 @@
 //! output compares with the paper.
 
 pub mod ablation;
+pub mod checkpoint;
 pub mod convergence;
 pub mod distributions;
 pub mod kernels;
@@ -40,14 +41,17 @@ pub const ALL_IDS: &[&str] = &[
     "pipeline-train",
     "kernels",
     "robustness",
+    "checkpoint",
 ];
 
-/// Runs one experiment by id.
+/// Runs one experiment by id. `write_bench` gates the `BENCH_*.json`
+/// artifacts some experiments produce (see
+/// [`write_artifact`](crate::output::write_artifact)).
 ///
 /// # Errors
 ///
 /// Returns a message for unknown ids.
-pub fn run(id: &str, quick: bool) -> Result<(), String> {
+pub fn run(id: &str, quick: bool, write_bench: bool) -> Result<(), String> {
     println!("=== {id} {} ===", if quick { "(quick)" } else { "" });
     match id {
         "tab2" => tables::tab2(quick),
@@ -72,8 +76,9 @@ pub fn run(id: &str, quick: bool) -> Result<(), String> {
         "ablate-tiered" => tiered::tiered(quick),
         "ablate-pipeline" => ablation::pipeline(quick),
         "pipeline-train" => timing::pipeline_train(quick),
-        "kernels" => kernels::kernels(quick),
-        "robustness" => robustness::robustness(quick),
+        "kernels" => kernels::kernels(quick, write_bench),
+        "robustness" => robustness::robustness(quick, write_bench),
+        "checkpoint" => checkpoint::checkpoint(quick, write_bench),
         other => return Err(format!("unknown experiment id `{other}`")),
     }
     println!();

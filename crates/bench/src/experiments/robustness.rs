@@ -116,9 +116,9 @@ fn run_scenario(
     out
 }
 
-/// Runs the fault-injection robustness sweep and writes
-/// `BENCH_robustness.json`.
-pub fn robustness(quick: bool) {
+/// Runs the fault-injection robustness sweep; with `write_bench` it also
+/// rewrites `BENCH_robustness.json`.
+pub fn robustness(quick: bool, write_bench: bool) {
     let w = load_workload(DatasetName::Cora, quick);
     let cost = CostModel::rtx6000();
     let iters = if quick { 4 } else { 10 };
@@ -234,9 +234,5 @@ pub fn robustness(quick: bool) {
         "{{\n  \"dataset\": \"cora\",\n  \"budget_bytes\": {budget},\n  \"iterations\": {iters},\n  \"max_retries\": 8,\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
-    if let Err(e) = std::fs::write("BENCH_robustness.json", &json) {
-        eprintln!("warning: could not write BENCH_robustness.json: {e}");
-    } else {
-        println!("wrote BENCH_robustness.json");
-    }
+    crate::output::write_artifact("BENCH_robustness.json", &json, write_bench);
 }

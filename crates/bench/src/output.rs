@@ -79,6 +79,25 @@ pub fn mem(bytes: u64) -> String {
     }
 }
 
+/// Writes a `BENCH_*.json` artifact to the repo root, gated on
+/// `--write-bench`.
+///
+/// Without the flag the experiment still runs and prints its table, but
+/// the committed artifact is left untouched — so casual `figures` runs
+/// (and CI smoke runs on arbitrary hardware) never dirty the tree, and
+/// the JSON only changes when the harness regenerates it deliberately.
+pub fn write_artifact(name: &str, json: &str, write: bool) {
+    if !write {
+        println!("skipped {name} (pass --write-bench to regenerate)");
+        return;
+    }
+    if let Err(e) = std::fs::write(name, json) {
+        eprintln!("warning: could not write {name}: {e}");
+    } else {
+        println!("wrote {name}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,5 +1,6 @@
 //! Error type for training runs.
 
+use crate::checkpoint::CheckpointError;
 use crate::train::RecoveryEvent;
 use buffalo_bucketing::ScheduleError;
 use buffalo_memsim::OomError;
@@ -31,6 +32,11 @@ pub enum TrainError {
         /// The device refusal that ended recovery.
         last: OomError,
     },
+    /// A configuration parameter was invalid (library code rejects bad
+    /// input with this instead of panicking).
+    InvalidConfig(String),
+    /// Checkpoint save/load failed (see [`CheckpointError`]).
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for TrainError {
@@ -51,6 +57,8 @@ impl fmt::Display for TrainError {
                 "OOM recovery exhausted after {} actions: {last}",
                 events.len()
             ),
+            TrainError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TrainError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
@@ -63,7 +71,15 @@ impl std::error::Error for TrainError {
             TrainError::Betty(e) => Some(e),
             TrainError::InvalidMicroBatches { .. } => None,
             TrainError::RecoveryExhausted { last, .. } => Some(last),
+            TrainError::InvalidConfig(_) => None,
+            TrainError::Checkpoint(e) => Some(e),
         }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
     }
 }
 

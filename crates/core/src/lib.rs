@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod models;
 pub mod multi_gpu;
 pub mod sim;

@@ -37,11 +37,8 @@ pub struct MultiGpuReport {
 ///
 /// # Errors
 ///
-/// Propagates any error from the underlying single-device simulation.
-///
-/// # Panics
-///
-/// Panics if `num_gpus == 0`.
+/// * [`TrainError::InvalidConfig`] if `num_gpus == 0`.
+/// * Propagates any error from the underlying single-device simulation.
 pub fn simulate_data_parallel(
     batch: &Batch,
     ctx: SimContext<'_>,
@@ -50,7 +47,11 @@ pub fn simulate_data_parallel(
     link_bw: f64,
     cost: &CostModel,
 ) -> Result<MultiGpuReport, TrainError> {
-    assert!(num_gpus > 0, "need at least one GPU");
+    if num_gpus == 0 {
+        return Err(TrainError::InvalidConfig(
+            "data-parallel simulation needs at least one GPU (num_gpus = 0)".into(),
+        ));
+    }
     let device = DeviceMemory::new(per_gpu_budget);
     let base = simulate_iteration(batch, ctx, Strategy::Buffalo, &device, cost)?;
     // CPU phases stay serial: scheduling + extraction + block generation.
@@ -133,8 +134,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one GPU")]
     fn zero_gpus_rejected() {
+        // Library code must reject bad input with a structured error, not
+        // a panic.
         let (g, batch, shape) = fixture();
         let ctx = SimContext {
             shape: &shape,
@@ -142,6 +144,9 @@ mod tests {
             clustering: 0.3,
             original: &g,
         };
-        let _ = simulate_data_parallel(&batch, ctx, u64::MAX, 0, 1e9, &CostModel::a100_80gb());
+        let err = simulate_data_parallel(&batch, ctx, u64::MAX, 0, 1e9, &CostModel::a100_80gb())
+            .unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)), "{err:?}");
+        assert!(err.to_string().contains("at least one GPU"), "{err}");
     }
 }

@@ -14,10 +14,14 @@ mod epoch;
 mod pipeline;
 pub(crate) mod recovery;
 
-pub use epoch::{evaluate, run_epochs, EpochConfig, EpochStats, IterationTrainer};
+pub use epoch::{
+    evaluate, run_epochs, run_epochs_checkpointed, EpochConfig, EpochStats, IterationTrainer,
+    TrainRun,
+};
 pub use pipeline::PipelineConfig;
 pub use recovery::{HeadroomCalibrator, RecoveryAction, RecoveryEvent, RecoveryPolicy};
 
+use crate::checkpoint::{CheckpointError, ParamState, TrainerState};
 use crate::models::GnnModel;
 use crate::TrainError;
 use buffalo_bucketing::BuffaloScheduler;
@@ -61,6 +65,60 @@ pub struct IterationStats {
     /// Recovery actions taken this iteration, in order. Empty unless a
     /// [`RecoveryPolicy`] is enabled and the device refused an allocation.
     pub recovery: Vec<RecoveryEvent>,
+}
+
+/// Copies every parameter's value and Adam moments out of `model`, in the
+/// model's canonical parameter order. Gradients are not captured: state is
+/// taken between iterations, where they are dead.
+fn capture_params(model: &mut GnnModel) -> Vec<ParamState> {
+    model
+        .params_mut()
+        .iter()
+        .map(|p| ParamState {
+            rows: p.value.rows() as u32,
+            cols: p.value.cols() as u32,
+            value: p.value.data().to_vec(),
+            m: p.m.data().to_vec(),
+            v: p.v.data().to_vec(),
+        })
+        .collect()
+}
+
+/// Writes captured parameter state back into `model` bit-exactly.
+///
+/// # Errors
+///
+/// [`CheckpointError::StateMismatch`] if the parameter count or any
+/// tensor shape differs — the snapshot belongs to a different model.
+fn restore_params(model: &mut GnnModel, params: &[ParamState]) -> Result<(), CheckpointError> {
+    let mut live = model.params_mut();
+    if live.len() != params.len() {
+        return Err(CheckpointError::StateMismatch {
+            reason: format!(
+                "snapshot has {} parameters, model has {}",
+                params.len(),
+                live.len()
+            ),
+        });
+    }
+    for (i, (p, s)) in live.iter_mut().zip(params).enumerate() {
+        if p.value.rows() != s.rows as usize || p.value.cols() != s.cols as usize {
+            return Err(CheckpointError::StateMismatch {
+                reason: format!(
+                    "parameter {i} is {}x{}, snapshot has {}x{}",
+                    p.value.rows(),
+                    p.value.cols(),
+                    s.rows,
+                    s.cols
+                ),
+            });
+        }
+        p.value.data_mut().copy_from_slice(&s.value);
+        p.m.data_mut().copy_from_slice(&s.m);
+        p.v.data_mut().copy_from_slice(&s.v);
+        p.zero_grad();
+    }
+    Ok(())
 }
 
 /// Gathers the feature tensor for a (micro-)batch's innermost sources.
@@ -140,6 +198,27 @@ impl FullBatchTrainer {
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
         self
+    }
+
+    /// Captures model + optimizer state for a checkpoint.
+    pub fn capture_state(&mut self) -> TrainerState {
+        TrainerState {
+            adam_t: self.opt.t(),
+            headroom_multiplier: 1.0,
+            params: capture_params(&mut self.model),
+        }
+    }
+
+    /// Restores captured state bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::StateMismatch`] if the snapshot's parameters do
+    /// not fit this model.
+    pub fn restore_state(&mut self, state: &TrainerState) -> Result<(), CheckpointError> {
+        restore_params(&mut self.model, &state.params)?;
+        self.opt.set_t(state.adam_t);
+        Ok(())
     }
 
     /// Trains one iteration on `batch`.
@@ -266,6 +345,39 @@ impl BuffaloTrainer {
     /// constraints are `budget / multiplier`.
     pub fn headroom_multiplier(&self) -> f64 {
         self.calibrator.multiplier()
+    }
+
+    /// Captures model, optimizer, and calibrator state for a checkpoint.
+    pub fn capture_state(&mut self) -> TrainerState {
+        TrainerState {
+            adam_t: self.opt.t(),
+            headroom_multiplier: self.calibrator.multiplier(),
+            params: capture_params(&mut self.model),
+        }
+    }
+
+    /// Restores captured state bit-exactly, including the calibrator's
+    /// multiplier.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::StateMismatch`] if the snapshot's parameters do
+    /// not fit this model.
+    pub fn restore_state(&mut self, state: &TrainerState) -> Result<(), CheckpointError> {
+        restore_params(&mut self.model, &state.params)?;
+        self.opt.set_t(state.adam_t);
+        self.calibrator.set_multiplier(state.headroom_multiplier);
+        Ok(())
+    }
+
+    /// Ensures the headroom multiplier is at least `multiplier` — the
+    /// rollback rung calls this with a compounding boost so each rollback
+    /// schedules more conservatively than the last, instead of replaying
+    /// the same doomed plan.
+    pub fn force_headroom(&mut self, multiplier: f64) {
+        if multiplier > self.calibrator.multiplier() {
+            self.calibrator.set_multiplier(multiplier);
+        }
     }
 
     /// Trains one iteration on `batch` under the device budget.

@@ -170,6 +170,18 @@ impl HeadroomCalibrator {
         self.multiplier
     }
 
+    /// The configured floor the multiplier never drops below.
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Sets the multiplier directly, clamped to `[floor, cap]` — used by
+    /// checkpoint restore and the rollback rung, which must be able to
+    /// impose a *larger* margin than the snapshot recorded.
+    pub fn set_multiplier(&mut self, multiplier: f64) {
+        self.multiplier = multiplier.clamp(self.floor, HEADROOM_CAP);
+    }
+
     /// The scheduling constraint to use for `budget` bytes of device
     /// memory: `budget / multiplier`, never below 1 byte.
     pub fn constrain(&self, budget: u64) -> u64 {
@@ -249,6 +261,88 @@ mod tests {
         c.observe_oom();
         assert_eq!(c.constrain(0), 1);
         assert_eq!(c.constrain(1), 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Repeated genuine refusals monotonically tighten the
+            /// constraint (never loosen it), for any starting floor and
+            /// any budget.
+            #[test]
+            fn genuine_refusals_monotonically_tighten(
+                floor in 1.0f64..4.0,
+                budget in 1u64..u64::MAX / 2,
+                refusals in 1usize..40,
+            ) {
+                let mut c = HeadroomCalibrator::new(floor);
+                let mut prev_mult = c.multiplier();
+                let mut prev_constraint = c.constrain(budget);
+                for _ in 0..refusals {
+                    c.observe_oom();
+                    prop_assert!(c.multiplier() >= prev_mult);
+                    let constraint = c.constrain(budget);
+                    prop_assert!(constraint <= prev_constraint);
+                    prev_mult = c.multiplier();
+                    prev_constraint = constraint;
+                }
+            }
+
+            /// No sequence of observations — refusals, arbitrary
+            /// estimate/actual pairs, resets — drives the multiplier below
+            /// the configured floor or above the cap.
+            #[test]
+            fn never_tightens_below_floor_or_beyond_cap(
+                floor in 1.0f64..4.0,
+                ops in collection::vec(
+                    (0u8..3, 0u64..u64::MAX, 0u64..u64::MAX), 1..60),
+            ) {
+                let mut c = HeadroomCalibrator::new(floor);
+                let floor = c.floor();
+                for (op, est, act) in ops {
+                    match op {
+                        0 => c.observe_oom(),
+                        1 => c.observe(est, act),
+                        _ => c.reset(),
+                    }
+                    prop_assert!(c.multiplier() >= floor - 1e-12,
+                        "multiplier {} fell below floor {floor}", c.multiplier());
+                    prop_assert!(c.multiplier() <= HEADROOM_CAP + 1e-12);
+                }
+            }
+
+            /// `set_multiplier` clamps into `[floor, cap]` from any input,
+            /// including NaN-free extremes.
+            #[test]
+            fn set_multiplier_clamps(
+                floor in 1.0f64..4.0,
+                m in -1e12f64..1e12,
+            ) {
+                let mut c = HeadroomCalibrator::new(floor);
+                c.set_multiplier(m);
+                prop_assert!(c.multiplier() >= c.floor());
+                prop_assert!(c.multiplier() <= HEADROOM_CAP);
+            }
+
+            /// The constraint is always at least 1 byte and never exceeds
+            /// the budget it was derived from.
+            #[test]
+            fn constraint_stays_in_bounds(
+                floor in 1.0f64..4.0,
+                budget in 0u64..u64::MAX / 2,
+                refusals in 0usize..20,
+            ) {
+                let mut c = HeadroomCalibrator::new(floor);
+                for _ in 0..refusals {
+                    c.observe_oom();
+                }
+                let constraint = c.constrain(budget);
+                prop_assert!(constraint >= 1);
+                prop_assert!(constraint <= budget.max(1));
+            }
+        }
     }
 
     #[test]

@@ -85,6 +85,19 @@ pub trait Device: Sync {
     fn reset_peak(&self);
     /// Frees everything.
     fn free_all(&self);
+    /// Total `alloc` calls observed, for devices that track a
+    /// deterministic fault stream keyed off the allocation counter.
+    /// Plain devices report 0 — their behaviour never depends on it.
+    fn alloc_calls(&self) -> u64 {
+        0
+    }
+    /// Resets fault streams to the state after exactly `allocs` calls
+    /// (see [`FaultyDevice::fast_forward`](crate::FaultyDevice::fast_forward)).
+    /// A no-op on devices without fault state: replaying a plain device
+    /// from any position is already deterministic.
+    fn fast_forward_allocs(&self, allocs: u64) {
+        let _ = allocs;
+    }
 }
 
 #[derive(Debug, Default)]

@@ -27,6 +27,35 @@ pub struct BudgetEvent {
     pub factor: f64,
 }
 
+/// A scheduled crash of the process-equivalent in the middle of a
+/// checkpoint write: at the `at_save`-th snapshot save (1-based, counted
+/// across the writer's lifetime), the writer stops after `after_bytes`
+/// bytes (half the snapshot when `None`) and the training run dies.
+///
+/// With `torn = false` (the default) the partial write lands in the
+/// writer's *temp* file — the torn bytes are exactly what an atomic
+/// rename protocol promises to keep invisible. With `torn = true` the
+/// partial write lands at the *final* snapshot path, simulating a
+/// filesystem that made a rename visible without the data (no journal,
+/// lost fsync), so resume must detect the corruption via the integrity
+/// footer and fall back to an older snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPoint {
+    /// Snapshot save index (1-based) at which the crash fires.
+    pub at_save: u64,
+    /// Bytes written before dying; half the snapshot when `None`.
+    pub after_bytes: Option<u64>,
+    /// Whether the partial write is visible at the final snapshot path.
+    pub torn: bool,
+}
+
+impl CrashPoint {
+    /// Whether the crash fires at the given (1-based) save index.
+    pub fn fires(&self, save_index: u64) -> bool {
+        self.at_save == save_index
+    }
+}
+
 /// A deterministic fault schedule.
 ///
 /// Build one directly, with the convenience constructors, or by parsing a
@@ -43,6 +72,9 @@ pub struct FaultPlan {
     pub fail_nth: Vec<u64>,
     /// Scheduled budget shrink/restore events, sorted by `at_alloc`.
     pub budget_events: Vec<BudgetEvent>,
+    /// Scheduled mid-checkpoint-write crash, consumed by the checkpoint
+    /// writer rather than the device (allocations never see it).
+    pub crash: Option<CrashPoint>,
 }
 
 impl FaultPlan {
@@ -53,6 +85,7 @@ impl FaultPlan {
             transient_prob: 0.0,
             fail_nth: Vec::new(),
             budget_events: Vec::new(),
+            crash: None,
         }
     }
 
@@ -67,7 +100,10 @@ impl FaultPlan {
 
     /// Whether the plan can inject anything at all.
     pub fn is_noop(&self) -> bool {
-        self.transient_prob <= 0.0 && self.fail_nth.is_empty() && self.budget_events.is_empty()
+        self.transient_prob <= 0.0
+            && self.fail_nth.is_empty()
+            && self.budget_events.is_empty()
+            && self.crash.is_none()
     }
 
     /// Parses a CLI fault spec. Clauses are separated by `;`:
@@ -75,7 +111,10 @@ impl FaultPlan {
     /// * `transient:p=0.1,seed=7` — probabilistic transient failures;
     /// * `transient:nth=5,nth=12` — fail exactly the 5th and 12th allocs;
     /// * `shrink:at=10,factor=0.5,restore=30` — halve the budget at the
-    ///   10th alloc, restore it at the 30th (`restore` optional).
+    ///   10th alloc, restore it at the 30th (`restore` optional);
+    /// * `crash:at=3,bytes=64,torn=1` — kill the run during the 3rd
+    ///   checkpoint save, 64 bytes into the write (`bytes` and `torn`
+    ///   optional; see [`CrashPoint`]).
     ///
     /// # Errors
     ///
@@ -134,6 +173,34 @@ impl FaultPlan {
                             factor: 1.0,
                         });
                     }
+                }
+                "crash" => {
+                    let (mut at, mut bytes, mut torn) = (None, None, false);
+                    for (k, v) in pairs {
+                        match k {
+                            "at" => at = Some(parse_num(k, v)?),
+                            "bytes" => bytes = Some(parse_num(k, v)?),
+                            "torn" => {
+                                torn = match v {
+                                    "1" | "true" => true,
+                                    "0" | "false" => false,
+                                    other => {
+                                        return Err(format!("crash torn must be 0|1: `{other}`"))
+                                    }
+                                }
+                            }
+                            other => return Err(format!("unknown crash key `{other}`")),
+                        }
+                    }
+                    let at: u64 = at.ok_or("crash clause needs at=N")?;
+                    if at == 0 {
+                        return Err("crash at=N is 1-based; 0 never fires".into());
+                    }
+                    plan.crash = Some(CrashPoint {
+                        at_save: at,
+                        after_bytes: bytes,
+                        torn,
+                    });
                 }
                 other => return Err(format!("unknown fault kind `{other}`")),
             }
@@ -226,6 +293,52 @@ impl FaultyDevice {
         self.lock().counters
     }
 
+    /// Resets the fault streams to the state they would hold after exactly
+    /// `allocs` allocation calls from a fresh start.
+    ///
+    /// Works in both directions: a resume fast-forwards a freshly built
+    /// device to a snapshot's recorded position, and a rollback can rewind
+    /// a live device. The probabilistic stream is replayed draw-by-draw
+    /// (its position depends only on the allocation index, never on which
+    /// faults fired), counters are recomputed, and the wrapped budget is
+    /// set to `original × factor` of the last budget event at or before
+    /// `allocs` (the original budget when none has fired yet).
+    pub fn fast_forward(&self, allocs: u64) {
+        let mut st = self.lock();
+        let mut rng = splitmix_seed(self.plan.seed);
+        let mut injected = 0u64;
+        for n in 1..=allocs {
+            let mut inject = self.plan.fail_nth.binary_search(&n).is_ok();
+            if self.plan.transient_prob > 0.0 {
+                let draw = next_f64(&mut rng);
+                inject |= draw < self.plan.transient_prob;
+            }
+            if inject {
+                injected += 1;
+            }
+        }
+        let applied = self
+            .plan
+            .budget_events
+            .iter()
+            .take_while(|e| e.at_alloc <= allocs)
+            .count();
+        let factor = if applied == 0 {
+            1.0
+        } else {
+            self.plan.budget_events[applied - 1].factor
+        };
+        self.inner
+            .set_budget((self.original_budget as f64 * factor) as u64);
+        st.rng = rng;
+        st.events_applied = applied;
+        st.counters = FaultCounters {
+            allocs,
+            injected,
+            budget_changes: applied as u64,
+        };
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -296,6 +409,12 @@ impl Device for FaultyDevice {
     }
     fn free_all(&self) {
         self.inner.free_all();
+    }
+    fn alloc_calls(&self) -> u64 {
+        self.lock().counters.allocs
+    }
+    fn fast_forward_allocs(&self, allocs: u64) {
+        self.fast_forward(allocs);
     }
 }
 
@@ -407,6 +526,70 @@ mod tests {
         assert!(FaultPlan::parse("shrink:at=3,factor=1.5").is_err());
         assert!(FaultPlan::parse("meteor:at=1").is_err());
         assert!(FaultPlan::parse("transient:p").is_err());
+    }
+
+    #[test]
+    fn parse_crash_clause() {
+        let plan = FaultPlan::parse("crash:at=3,bytes=64,torn=1").unwrap();
+        assert_eq!(
+            plan.crash,
+            Some(CrashPoint {
+                at_save: 3,
+                after_bytes: Some(64),
+                torn: true
+            })
+        );
+        assert!(!plan.is_noop());
+        assert!(plan.crash.unwrap().fires(3));
+        assert!(!plan.crash.unwrap().fires(2));
+
+        let plan = FaultPlan::parse("crash:at=1").unwrap();
+        assert_eq!(
+            plan.crash,
+            Some(CrashPoint {
+                at_save: 1,
+                after_bytes: None,
+                torn: false
+            })
+        );
+
+        assert!(FaultPlan::parse("crash:bytes=10").is_err());
+        assert!(FaultPlan::parse("crash:at=0").is_err());
+        assert!(FaultPlan::parse("crash:at=1,torn=2").is_err());
+        assert!(FaultPlan::parse("crash:at=1,bogus=1").is_err());
+    }
+
+    #[test]
+    fn fast_forward_matches_live_stream() {
+        let spec = "transient:p=0.3,seed=7,nth=2;shrink:at=5,factor=0.5,restore=12";
+        // Reference: run 20 allocs live, record the outcome of allocs 9..20.
+        let live = FaultyDevice::new(DeviceMemory::new(100), FaultPlan::parse(spec).unwrap());
+        let full = drain(&live, 20, 10);
+        // Fresh device fast-forwarded to position 8 must replay 9..20
+        // identically, with identical counters at every point.
+        let ff = FaultyDevice::new(DeviceMemory::new(100), FaultPlan::parse(spec).unwrap());
+        ff.fast_forward(8);
+        assert_eq!(Device::alloc_calls(&ff), 8);
+        let tail = drain(&ff, 12, 10);
+        assert_eq!(tail, full[8..], "fast-forwarded stream must match live");
+        assert_eq!(ff.counters(), live.counters());
+    }
+
+    #[test]
+    fn fast_forward_rewinds_budget_and_counters() {
+        let plan = FaultPlan::parse("shrink:at=3,factor=0.5,restore=5").unwrap();
+        let dev = FaultyDevice::new(DeviceMemory::new(100), plan);
+        drain(&dev, 6, 10);
+        assert_eq!(dev.budget(), 100); // restored at alloc 5
+                                       // Rewind into the shrunken window.
+        dev.fast_forward(3);
+        assert_eq!(dev.budget(), 50);
+        assert_eq!(dev.counters().allocs, 3);
+        assert_eq!(dev.counters().budget_changes, 1);
+        // Rewind before any event: original budget, zeroed counters.
+        dev.fast_forward(0);
+        assert_eq!(dev.budget(), 100);
+        assert_eq!(dev.counters(), FaultCounters::default());
     }
 
     #[test]

@@ -58,6 +58,17 @@ impl Adam {
             t: 0,
         }
     }
+
+    /// Steps taken so far (bias correction depends on this).
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// Restores the step counter — used by checkpoint resume, where bias
+    /// correction must continue from the snapshot's step, not from zero.
+    pub fn set_t(&mut self, t: u64) {
+        self.t = t;
+    }
 }
 
 impl Optimizer for Adam {

@@ -13,9 +13,10 @@
 //! accepted, a path to an edge-list or binary CSR file works too.
 
 use buffalo::bucketing::BuffaloScheduler;
+use buffalo::core::checkpoint::CheckpointOptions;
 use buffalo::core::sim::{simulate_iteration, SimContext, Strategy};
 use buffalo::core::train::{
-    run_epochs, BuffaloTrainer, EpochConfig, PipelineConfig, RecoveryPolicy,
+    run_epochs_checkpointed, BuffaloTrainer, EpochConfig, PipelineConfig, RecoveryPolicy,
 };
 use buffalo::graph::datasets::{self, DatasetName};
 use buffalo::graph::{io, stats, CsrGraph, NodeId};
@@ -48,9 +49,12 @@ const USAGE: &str = "usage:
                    [--hidden H] [--agg ...] [--fanouts 5,10] [--eval N]
                    [--pipeline on|off] [--threads N]
                    [--faults <spec>] [--max-retries N] [--headroom F]
+                   [--checkpoint-dir D] [--checkpoint-every K]
+                   [--checkpoint-keep N] [--resume D] [--max-rollbacks N]
                    fault spec clauses (';'-separated):
                      transient:p=0.1,seed=7   transient:nth=5
                      shrink:at=10,factor=0.5,restore=20
+                     crash:at=3,bytes=64,torn=1   (needs --checkpoint-dir)
   buffalo compare  <dataset> [--budget 24G] [--seeds N] [--hidden H] [--k K]";
 
 /// Parsed `--key value` options with positional arguments.
@@ -306,8 +310,35 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
     // Fault injection and recovery. Recovery is enabled whenever any of
     // its flags (or a fault spec) is given; a plain run keeps the classic
     // fail-fast OOM semantics.
-    let fault_plan = match o.flags.get("faults") {
+    let mut fault_plan = match o.flags.get("faults") {
         Some(spec) => Some(FaultPlan::parse(spec)?),
+        None => None,
+    };
+    // Checkpointing. `--resume <dir>` doubles as the checkpoint dir when
+    // `--checkpoint-dir` is absent, so a resumed run keeps snapshotting
+    // into the same ring. A `crash:` fault clause targets snapshot
+    // writes, so it moves from the device plan to the checkpoint writer.
+    let resume_dir = o.flags.get("resume").cloned();
+    let ckpt_dir = o
+        .flags
+        .get("checkpoint-dir")
+        .cloned()
+        .or_else(|| resume_dir.clone());
+    let crash = fault_plan.as_mut().and_then(|p| p.crash.take());
+    if crash.is_some() && ckpt_dir.is_none() {
+        return Err(
+            "a crash: fault clause needs --checkpoint-dir (it fires during snapshot writes)".into(),
+        );
+    }
+    let ckpt = match &ckpt_dir {
+        Some(dir) => {
+            let mut c = CheckpointOptions::new(dir);
+            c.every = o.get("checkpoint-every", c.every)?;
+            c.keep = o.get("checkpoint-keep", c.keep)?;
+            c.max_rollbacks = o.get("max-rollbacks", c.max_rollbacks)?;
+            c.crash = crash;
+            Some(c)
+        }
         None => None,
     };
     let recovery_on = fault_plan.is_some()
@@ -339,14 +370,23 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
         eval_nodes: eval_nodes.min(s.ds.graph.num_nodes().saturating_sub(train_nodes)),
         seed: 5,
     };
-    let stats = run_epochs(&mut trainer, &s.ds, device, &cost, &cfg).map_err(|e| e.to_string())?;
+    let run = run_epochs_checkpointed(
+        &mut trainer,
+        &s.ds,
+        device,
+        &cost,
+        &cfg,
+        ckpt.as_ref(),
+        resume_dir.is_some(),
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "{:>6} {:>10} {:>10} {:>8} {:>6}",
         "epoch", "loss", "train acc", "val acc", "iters"
     );
     let mut timings = buffalo::memsim::StageTimings::default();
     let mut recovery_events = 0usize;
-    for e in stats {
+    for e in &run.epochs {
         timings.accumulate(&e.timings);
         recovery_events += e.recovery.len();
         println!(
@@ -382,6 +422,21 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
             "recovery: {} events, headroom multiplier {:.3}",
             recovery_events,
             trainer.headroom_multiplier()
+        );
+    }
+    if ckpt.is_some() {
+        // Per-iteration loss bit patterns: ci.sh diffs these lines between
+        // an uninterrupted run and a crash+resume run to prove bitwise
+        // identical replay.
+        for (i, loss) in run.loss_trail.iter().enumerate() {
+            println!("trail {i:>6} {:08x} {loss:.6}", loss.to_bits());
+        }
+        if let Some(at) = run.resumed_at {
+            println!("resumed from global iteration {at}");
+        }
+        println!(
+            "checkpoints: {} written, {} rollbacks",
+            run.snapshots_written, run.rollbacks
         );
     }
     Ok(())

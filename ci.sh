@@ -10,6 +10,24 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
 cargo bench --workspace --no-run
 
+# Static invariants (DESIGN.md § "Static invariants"): deny-by-default
+# linter over the whole workspace — determinism, panic-freedom on the
+# recovery paths, documented unsafe, accounted device allocation.
+cargo run -q -p buffalo-lint -- check
+
+# The loom-model interleaving tests for the thread-pool handoff run under
+# `--cfg loom` (see shims/loom — a bounded randomized-schedule stand-in
+# for the real loom crate, same API).
+RUSTFLAGS="--cfg loom" cargo test -q -p buffalo-par --test loom_model
+
+# Miri over the pool's unsafe lifetime erasure, when the toolchain has it
+# (graceful skip otherwise — the container may lack the miri component).
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  cargo +nightly miri test -p buffalo-par
+else
+  echo "ci: skip — cargo +nightly miri unavailable"
+fi
+
 # The pipeline toggle must train end-to-end both ways.
 cargo run -q --release --bin buffalo -- train cora --epochs 1 --budget 12M --pipeline off
 cargo run -q --release --bin buffalo -- train cora --epochs 1 --budget 12M --pipeline on
@@ -63,6 +81,21 @@ if [ "$ref" != "$resumed" ]; then
 fi
 rm -rf "$ckdir"
 echo "ci: crash+resume loss trail bitwise identical"
+
+# Golden bit-identity: the lint-driven refactors (hash containers ->
+# ordered containers, unwrap -> Result on recovery paths) must not move a
+# single bit of the epoch table or the checkpoint trail. The golden file
+# was captured before those changes landed.
+ckdir=$(mktemp -d)
+bits=$(cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 12M \
+  --checkpoint-dir "$ckdir" --checkpoint-every 2 | grep -E '^\s+[0-9]|^trail')
+rm -rf "$ckdir"
+if [ "$bits" != "$(cat tests/golden/cora_epochs2_bits.txt)" ]; then
+  echo "ci: FAIL — cora epoch table/trail diverged from tests/golden/cora_epochs2_bits.txt" >&2
+  diff tests/golden/cora_epochs2_bits.txt <(printf '%s\n' "$bits") >&2 || true
+  exit 1
+fi
+echo "ci: cora epoch table and trail match the pre-refactor golden bitwise"
 
 # Kernel microbenchmarks (without --write-bench this prints the table but
 # leaves the committed BENCH_kernels.json untouched).

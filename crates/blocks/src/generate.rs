@@ -2,7 +2,7 @@
 
 use crate::block::Block;
 use buffalo_graph::{CsrGraph, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default [`GenerateOptions::parallel_threshold`]: below this many
 /// destination rows, gathering goes serial.
@@ -140,8 +140,8 @@ fn gather_rows<'g>(
 /// Instead of trusting the sampled subgraph's rows, this path re-derives
 /// each destination's sources from the *original* graph: it walks the full
 /// (unsampled) neighbor list of the destination's global id, checks each
-/// candidate for membership in the batch via a hash index (rebuilt per
-/// layer, as Betty rebuilds per micro-batch), and then confirms the edge
+/// candidate for membership in the batch via a membership index (rebuilt
+/// per layer, as Betty rebuilds per micro-batch), and then confirms the edge
 /// survived sampling with a binary search in the sampled subgraph. The
 /// resulting blocks contain the same edges as [`generate_blocks_fast`]
 /// (though source discovery order may differ); only the cost differs —
@@ -173,8 +173,11 @@ pub fn generate_blocks_checked(
     let mut blocks_rev: Vec<Block> = Vec::with_capacity(depth);
     for _ in 0..depth {
         // Betty rebuilds its membership index for every layer of every
-        // micro-batch; model that repeated cost faithfully.
-        let batch_index: HashMap<NodeId, NodeId> = global_ids
+        // micro-batch; model that repeated cost faithfully. An ordered map
+        // stands in for Betty's hash index — only probed, never iterated,
+        // and the nondet-iteration lint keeps hash containers out of the
+        // blocks crate entirely.
+        let batch_index: BTreeMap<NodeId, NodeId> = global_ids
             .iter()
             .enumerate()
             .map(|(local, &global)| (global, local as NodeId))

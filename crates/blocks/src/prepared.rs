@@ -40,6 +40,7 @@ impl PreparedBlocks {
         depth: usize,
         opts: GenerateOptions,
     ) -> Self {
+        // lint:allow(no-wallclock-in-numerics): stage-timing telemetry; block content never reads the clock
         let t0 = Instant::now();
         let blocks = generate_blocks_fast(batch_graph, num_seeds, depth, opts);
         PreparedBlocks {

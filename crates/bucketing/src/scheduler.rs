@@ -247,6 +247,7 @@ impl BuffaloScheduler {
         mem_constraint: u64,
         min_k: usize,
     ) -> Result<SchedulePlan, ScheduleError> {
+        // lint:allow(no-wallclock-in-numerics): plan-timing telemetry; the plan itself is clock-free
         let start = Instant::now();
         let base = degree_bucketing_of(batch, all_seeds, self.cutoff());
         let explosion = detect_explosion(&base, self.options.explosion_factor);
@@ -345,18 +346,30 @@ impl BuffaloScheduler {
                     // actual union closures can still diverge because
                     // overlap varies per group. Move the lightest bucket
                     // out of the heaviest group while it lowers the max.
+                    // This runs on the re-split recovery path, so extremum
+                    // selection is panic-free: `argmax_last`/`argmin_first`
+                    // mirror `max_by_key`/`min_by_key` tie-breaking (last
+                    // max, first min — plan bit-identity depends on it)
+                    // and return `None` only for empty slices, which the
+                    // grouping never produces (`k >= 1` groups).
                     for _ in 0..12 {
-                        let hi = (0..exact.len()).max_by_key(|&i| exact[i]).unwrap();
-                        let lo = (0..exact.len()).min_by_key(|&i| exact[i]).unwrap();
+                        let (Some(hi), Some(lo)) = (argmax_last(&exact), argmin_first(&exact))
+                        else {
+                            break;
+                        };
                         if hi == lo
                             || member_groups[hi].len() < 2
                             || exact[hi].saturating_sub(exact[lo]) < exact[hi] / 20
                         {
                             break;
                         }
-                        let pos = (0..member_groups[hi].len())
-                            .min_by_key(|&p| entries[member_groups[hi][p]].mem_estimate)
-                            .unwrap();
+                        let lightest: Vec<u64> = member_groups[hi]
+                            .iter()
+                            .map(|&e| entries[e].mem_estimate)
+                            .collect();
+                        let Some(pos) = argmin_first(&lightest) else {
+                            break;
+                        };
                         let candidate = member_groups[hi][pos];
                         let mut new_hi_members = member_groups[hi].clone();
                         new_hi_members.remove(pos);
@@ -404,6 +417,34 @@ impl BuffaloScheduler {
             best_max_group,
         })
     }
+}
+
+/// Index of the maximum value, taking the **last** maximum on ties —
+/// exactly `Iterator::max_by_key` semantics, without its panic-prone
+/// `unwrap` at the call site. `None` only when `values` is empty.
+fn argmax_last(values: &[u64]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, &v) in values.iter().enumerate() {
+        match best {
+            Some(b) if values[b] > v => {}
+            _ => best = Some(i),
+        }
+    }
+    best
+}
+
+/// Index of the minimum value, taking the **first** minimum on ties —
+/// exactly `Iterator::min_by_key` semantics. `None` only when `values`
+/// is empty.
+fn argmin_first(values: &[u64]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, &v) in values.iter().enumerate() {
+        match best {
+            Some(b) if values[b] <= v => {}
+            _ => best = Some(i),
+        }
+    }
+    best
 }
 
 /// Whether a bucket with `degree` is the flagged explosion bucket. The
@@ -592,6 +633,31 @@ mod tests {
         let sub = sched.resplit_group(&batch.graph, &seeds, u64::MAX).unwrap();
         assert!(sub.k >= 2);
         assert_eq!(sub.total_outputs(), 100);
+    }
+
+    #[test]
+    fn argmax_argmin_match_std_tie_breaking() {
+        // Plan bit-identity depends on these mirroring max_by_key (last
+        // max) and min_by_key (first min) exactly.
+        for vals in [
+            vec![3u64, 1, 3, 2],
+            vec![5, 5, 5],
+            vec![1],
+            vec![2, 9, 9, 0, 0],
+        ] {
+            assert_eq!(
+                argmax_last(&vals),
+                (0..vals.len()).max_by_key(|&i| vals[i]),
+                "{vals:?}"
+            );
+            assert_eq!(
+                argmin_first(&vals),
+                (0..vals.len()).min_by_key(|&i| vals[i]),
+                "{vals:?}"
+            );
+        }
+        assert_eq!(argmax_last(&[]), None);
+        assert_eq!(argmin_first(&[]), None);
     }
 
     #[test]

@@ -346,11 +346,15 @@ pub fn run_epochs_checkpointed<T: IterationTrainer>(
                     }
                 }
                 Err(TrainError::RecoveryExhausted { events, last }) => {
+                    // Rollback rung: recovery code must not itself panic,
+                    // so the checkpoint options are matched out rather
+                    // than unwrapped (`ring` exists only when `ckpt` does,
+                    // but the compiler cannot see that).
                     let allowed = ckpt.map_or(0, |o| o.max_rollbacks) as u64;
-                    if ring.is_none() || cur.rollbacks >= allowed {
-                        return Err(TrainError::RecoveryExhausted { events, last });
-                    }
-                    let opts = ckpt.unwrap();
+                    let opts = match ckpt {
+                        Some(o) if ring.is_some() && cur.rollbacks < allowed => o,
+                        _ => return Err(TrainError::RecoveryExhausted { events, last }),
+                    };
                     let (snap, _path) =
                         CheckpointRing::load_latest(&opts.dir).map_err(TrainError::Checkpoint)?;
                     trainer
@@ -462,6 +466,7 @@ pub fn evaluate(
         GenerateOptions::default(),
     );
     let features = gather_features(ds, &batch, blocks[0].src_nodes());
+    // lint:allow(no-panic-in-recovery): infallible — generate_blocks_fast returns exactly `depth` blocks, depth >= 1
     let labels = gather_labels(ds, &batch, blocks.last().unwrap().dst_nodes());
     let (logits, _) = model.forward(&blocks, &features);
     let out = softmax_cross_entropy(&logits, &labels, None);

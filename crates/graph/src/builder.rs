@@ -234,8 +234,8 @@ mod tests {
         /// Edge count is bounded by the number of distinct non-loop pairs.
         #[test]
         fn no_edge_inflation(edges in proptest::collection::vec((0u32..20, 0u32..20), 0..100)) {
-            use std::collections::HashSet;
-            let distinct: HashSet<(u32, u32)> = edges
+            use std::collections::BTreeSet;
+            let distinct: BTreeSet<(u32, u32)> = edges
                 .iter()
                 .filter(|(s, d)| s != d)
                 .map(|&(s, d)| (s.min(d), s.max(d)))

@@ -1,0 +1,534 @@
+//! `buffalo-lint` — the workspace invariant linter.
+//!
+//! Buffalo's headline guarantees — bit-identical replay across thread
+//! counts, crash/resume, and fault injection — are dynamic properties
+//! enforced by `ci.sh`. This crate adds the *static* half: a
+//! deny-by-default pass over the workspace source that rejects the code
+//! patterns which historically erode those guarantees before they can
+//! show up as a flaky golden file. See `DESIGN.md` § "Static invariants"
+//! for the rationale behind each rule.
+//!
+//! Rules:
+//!
+//! * `nondet-iteration` — `HashMap`/`HashSet` banned in decision crates
+//!   (plans and schedules must not depend on hash-iteration order or
+//!   `RandomState`).
+//! * `no-panic-in-recovery` — no `unwrap`/`expect`/`panic!`-family macros
+//!   on the recovery/checkpoint paths; the strictest files also ban
+//!   `[]`-indexing. Failures there must surface as `TrainError`.
+//! * `no-wallclock-in-numerics` — `Instant::now`/`SystemTime::now` only
+//!   in timing/bench code; wall-clock reads feeding numerics would break
+//!   replay.
+//! * `undocumented-unsafe` — every `unsafe` block carries a `// SAFETY:`
+//!   justification within the three preceding lines.
+//! * `unaccounted-alloc` — types that hold device state (`AllocId` /
+//!   `dyn Device`) must not side-allocate with `vec!`/`with_capacity`/
+//!   `reserve`/`resize` in their impls; device memory flows through the
+//!   memsim accounting API so the OOM simulation stays truthful.
+//!
+//! Waivers are inline and must justify themselves:
+//!
+//! ```text
+//! // lint:allow(no-wallclock-in-numerics): reporting-only timestamp
+//! ```
+//!
+//! A waiver is a plain `//` comment (doc comments never waive) placed on
+//! the offending line or the line above it. A waiver without a reason,
+//! naming an unknown rule, or matching no diagnostic is itself reported
+//! (`invalid-waiver` / `unused-waiver`) — deny-by-default applies to the
+//! escape hatch too.
+
+pub mod lexer;
+mod rules;
+
+use lexer::{lex, Tok, TokKind};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The five substantive rules. Waiver comments may only name these.
+pub const RULES: [&str; 5] = [
+    "nondet-iteration",
+    "no-panic-in-recovery",
+    "no-wallclock-in-numerics",
+    "undocumented-unsafe",
+    "unaccounted-alloc",
+];
+
+/// One reported violation, with a span into the offending file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error[{}]: {}:{}:{}: {}",
+            self.rule, self.file, self.line, self.col, self.message
+        )
+    }
+}
+
+/// Per-rule path scoping. All entries are *prefix* matches against the
+/// `/`-normalized path relative to the scan root; an empty string matches
+/// every file (used by [`Config::all_files`] in fixture tests).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// `nondet-iteration` applies to files matching any of these.
+    pub decision_paths: Vec<String>,
+    /// `no-panic-in-recovery` applies to files matching any of these.
+    pub no_panic_paths: Vec<String>,
+    /// Subset of `no_panic_paths` where `[]`-indexing is also banned.
+    pub strict_index_paths: Vec<String>,
+    /// Files where wall-clock reads are expected (timing/bench code);
+    /// `no-wallclock-in-numerics` skips these.
+    pub wallclock_exempt_paths: Vec<String>,
+    /// Files exempt from `unaccounted-alloc` (the accounting API itself,
+    /// and the bench harness that measures it).
+    pub alloc_exempt_paths: Vec<String>,
+}
+
+impl Config {
+    /// The scoping used for the real workspace — the contract `ci.sh`
+    /// enforces. Keep these lists in sync with DESIGN.md.
+    pub fn workspace() -> Self {
+        let own = |v: &[&str]| v.iter().map(|s| s.to_string()).collect();
+        Config {
+            // Every crate whose output feeds a plan, a schedule, or the
+            // training trail. Iterating a hash container there would tie
+            // numerics to RandomState.
+            decision_paths: own(&[
+                "crates/graph/",
+                "crates/blocks/",
+                "crates/sampling/",
+                "crates/memsim/",
+                "crates/bucketing/",
+                "crates/partition/",
+                "crates/core/",
+                "src/",
+            ]),
+            // The recovery ladder and everything checkpoint-adjacent: a
+            // panic here turns a recoverable OOM or truncated ring file
+            // into an abort.
+            no_panic_paths: own(&[
+                "crates/core/src/train/recovery.rs",
+                "crates/core/src/checkpoint/",
+                "crates/core/src/train/epoch.rs",
+                "crates/core/src/train/pipeline.rs",
+                "crates/bucketing/src/scheduler.rs",
+            ]),
+            // The strict tier additionally bans indexing: these files
+            // parse bytes from disk (possibly torn) or run inside the
+            // recovery ladder itself.
+            strict_index_paths: own(&[
+                "crates/core/src/train/recovery.rs",
+                "crates/core/src/checkpoint/",
+            ]),
+            wallclock_exempt_paths: own(&["crates/bench/"]),
+            alloc_exempt_paths: own(&["crates/memsim/", "crates/bench/"]),
+        }
+    }
+
+    /// Every rule applies to every file, no exemptions. Used by the
+    /// fixture tests so a one-file snippet exercises exactly one rule.
+    pub fn all_files() -> Self {
+        Config {
+            decision_paths: vec![String::new()],
+            no_panic_paths: vec![String::new()],
+            strict_index_paths: vec![String::new()],
+            wallclock_exempt_paths: Vec::new(),
+            alloc_exempt_paths: Vec::new(),
+        }
+    }
+}
+
+pub(crate) fn path_matches(path: &str, patterns: &[String]) -> bool {
+    patterns.iter().any(|p| path.starts_with(p.as_str()))
+}
+
+/// A parsed `lint:allow` comment.
+#[derive(Debug)]
+struct Waiver {
+    line: u32,
+    col: u32,
+    rule: String,
+    /// `None` when well-formed; otherwise why the waiver is invalid.
+    problem: Option<&'static str>,
+}
+
+fn parse_waivers(toks: &[Tok], skip: &[(usize, usize)]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::LineComment || in_spans(i, skip) {
+            continue;
+        }
+        // Waivers are plain `//` comments whose first word is the marker.
+        // Doc comments (`///`, `//!`) never waive — an example in rustdoc
+        // must not silence a real diagnostic.
+        let Some(body) = t.text.strip_prefix("//") else {
+            continue;
+        };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let Some(rest) = body.trim_start().strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let (rule, problem) = match rest.find(')') {
+            None => (String::new(), Some("malformed waiver: missing `)`")),
+            Some(close) => {
+                let rule = rest[..close].trim().to_string();
+                let tail = &rest[close + 1..];
+                if !RULES.contains(&rule.as_str()) {
+                    (rule, Some("waiver names an unknown rule"))
+                } else if !tail.trim_start().starts_with(':')
+                    || tail.trim_start()[1..].trim().is_empty()
+                {
+                    (
+                        rule,
+                        Some("waiver has no reason — write `lint:allow(<rule>): <why>`"),
+                    )
+                } else {
+                    (rule, None)
+                }
+            }
+        };
+        out.push(Waiver {
+            line: t.line,
+            col: t.col,
+            rule,
+            problem,
+        });
+    }
+    out
+}
+
+/// Token-index ranges covering `#[cfg(test)]` / `#[cfg(loom)]` items.
+/// Test-only code is exempt from every rule: an `unwrap` in a unit test
+/// is the assertion, not a hazard.
+fn test_item_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let at = |k: usize| -> Option<&Tok> { code.get(k).map(|&i| &toks[i]) };
+    let mut spans = Vec::new();
+    let mut k = 0usize;
+    while k < code.len() {
+        if !(at(k).is_some_and(|t| t.is_punct('#')) && at(k + 1).is_some_and(|t| t.is_punct('['))) {
+            k += 1;
+            continue;
+        }
+        // Find the attribute's closing `]` and check it is a cfg carrying
+        // `test` or `loom` anywhere inside (covers `cfg(all(test, ..))`).
+        let mut depth = 0usize;
+        let mut close = None;
+        let mut is_cfg = false;
+        let mut gated = false;
+        for j in k + 1..code.len() {
+            let t = at(j).unwrap();
+            match t.kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                TokKind::Ident => {
+                    if t.text == "cfg" {
+                        is_cfg = true;
+                    }
+                    if t.text == "test" || t.text == "loom" {
+                        gated = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { break };
+        if !(is_cfg && gated) {
+            k = close + 1;
+            continue;
+        }
+        // Skip the gated item: through any further attributes, then to
+        // the first top-level `{` (brace-matched) or a terminating `;`.
+        let mut j = close + 1;
+        let mut brace = 0usize;
+        let end_k = loop {
+            let Some(t) = at(j) else { break code.len() };
+            match t.kind {
+                TokKind::Punct('{') => {
+                    brace += 1;
+                }
+                TokKind::Punct('}') => {
+                    brace -= 1;
+                    if brace == 0 {
+                        break j + 1;
+                    }
+                }
+                TokKind::Punct(';') if brace == 0 => break j + 1,
+                _ => {}
+            }
+            j += 1;
+        };
+        let start_tok = code[k];
+        let end_tok = if end_k < code.len() {
+            code[end_k - 1] + 1
+        } else {
+            toks.len()
+        };
+        spans.push((start_tok, end_tok));
+        k = end_k;
+    }
+    spans
+}
+
+fn in_spans(i: usize, spans: &[(usize, usize)]) -> bool {
+    spans.iter().any(|&(s, e)| i >= s && i < e)
+}
+
+/// Everything the rules need to inspect one file.
+pub(crate) struct FileCtx<'a> {
+    pub path: &'a str,
+    pub toks: &'a [Tok],
+    /// Indices of non-comment tokens outside `#[cfg(test)]` items, in
+    /// source order. Rules pattern-match over this view.
+    pub code: Vec<usize>,
+    /// Indices of every comment token (test spans included — a `SAFETY:`
+    /// comment is valid wherever it sits).
+    pub comments: Vec<usize>,
+}
+
+/// Lints a single file's source. `path` is the `/`-normalized path
+/// reported in diagnostics and matched against [`Config`] scoping.
+pub fn check_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let toks = lex(src);
+    let skip = test_item_spans(&toks);
+    let ctx = FileCtx {
+        path,
+        toks: &toks,
+        code: (0..toks.len())
+            .filter(|&i| !toks[i].is_comment() && !in_spans(i, &skip))
+            .collect(),
+        comments: (0..toks.len()).filter(|&i| toks[i].is_comment()).collect(),
+    };
+
+    let mut raw = Vec::new();
+    rules::nondet_iteration(&ctx, cfg, &mut raw);
+    rules::no_panic_in_recovery(&ctx, cfg, &mut raw);
+    rules::no_wallclock_in_numerics(&ctx, cfg, &mut raw);
+    rules::undocumented_unsafe(&ctx, cfg, &mut raw);
+    rules::unaccounted_alloc(&ctx, cfg, &mut raw);
+
+    // Waiver application: a waiver on line L covers matching diagnostics
+    // on L (trailing comment) and L+1 (comment above the offense).
+    let waivers = parse_waivers(&toks, &skip);
+    let mut used = vec![false; waivers.len()];
+    let mut kept = Vec::new();
+    for d in raw {
+        let hit = waivers.iter().position(|w| {
+            w.problem.is_none() && w.rule == d.rule && (w.line == d.line || w.line + 1 == d.line)
+        });
+        match hit {
+            Some(ix) => used[ix] = true,
+            None => kept.push(d),
+        }
+    }
+    for (w, was_used) in waivers.iter().zip(used) {
+        if let Some(problem) = w.problem {
+            kept.push(Diagnostic {
+                rule: "invalid-waiver",
+                file: path.to_string(),
+                line: w.line,
+                col: w.col,
+                message: format!("{problem} (rule: `{}`)", w.rule),
+            });
+        } else if !was_used {
+            kept.push(Diagnostic {
+                rule: "unused-waiver",
+                file: path.to_string(),
+                line: w.line,
+                col: w.col,
+                message: format!(
+                    "waiver for `{}` matches no diagnostic on this or the next line — remove it",
+                    w.rule
+                ),
+            });
+        }
+    }
+    kept.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    kept
+}
+
+/// Scan summary returned by [`run_check`].
+#[derive(Debug)]
+pub struct Report {
+    pub diags: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+/// Directory names never descended into: build output, integration tests
+/// and fixtures (test code is rule-exempt), bench harness dirs, vendored
+/// shims (third-party API surface, not Buffalo code), and VCS metadata.
+const SKIP_DIRS: [&str; 6] = ["target", "tests", "benches", "shims", ".git", ".claude"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    // Sorted traversal keeps diagnostic order (and the JSON golden file)
+    // independent of readdir order.
+    entries.sort();
+    for p in entries {
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if p.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                collect_rs_files(&p, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under `root` (minus [`SKIP_DIRS`]) and returns
+/// the surviving diagnostics sorted by (file, line, col).
+pub fn run_check(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    let mut diags = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(f)?;
+        diags.extend(check_file(&rel, &src, cfg));
+    }
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(Report {
+        diags,
+        files_scanned: files.len(),
+    })
+}
+
+/// Renders diagnostics as a JSON array — stable field order, sorted
+/// input preserved — for machine consumption (`--json`).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut s = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}{}\n",
+            esc(d.rule),
+            esc(&d.file),
+            d.line,
+            d.col,
+            esc(&d.message),
+            if i + 1 == diags.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("]\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_requires_reason() {
+        let src = "// lint:allow(nondet-iteration)\nuse std::collections::HashMap;\n";
+        let d = check_file("f.rs", src, &Config::all_files());
+        assert!(d.iter().any(|d| d.rule == "invalid-waiver"));
+        assert!(d.iter().any(|d| d.rule == "nondet-iteration"));
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses_and_is_used() {
+        let src =
+            "// lint:allow(nondet-iteration): fixture container, never iterated\nuse std::collections::HashMap;\n";
+        assert!(check_file("f.rs", src, &Config::all_files()).is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_in_waiver_is_invalid() {
+        let src = "// lint:allow(made-up-rule): whatever\nfn f() {}\n";
+        let d = check_file("f.rs", src, &Config::all_files());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "invalid-waiver");
+    }
+
+    #[test]
+    fn unused_waiver_is_reported() {
+        let src = "// lint:allow(undocumented-unsafe): nothing unsafe here\nfn f() {}\n";
+        let d = check_file("f.rs", src, &Config::all_files());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unused-waiver");
+    }
+
+    #[test]
+    fn doc_comments_never_waive() {
+        // A rustdoc example mentioning the waiver syntax must neither
+        // suppress anything nor count as an unused waiver.
+        let src = "/// Example: `// lint:allow(nondet-iteration): reason`\n//! lint:allow(nondet-iteration): also not a waiver\nfn f() {}\n";
+        assert!(check_file("f.rs", src, &Config::all_files()).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+        assert!(check_file("f.rs", src, &Config::all_files()).is_empty());
+    }
+
+    #[test]
+    fn rule_scoping_respects_paths() {
+        let cfg = Config::workspace();
+        let src = "use std::collections::HashMap;\n";
+        assert!(!check_file("crates/graph/src/lib.rs", src, &cfg).is_empty());
+        assert!(check_file("crates/tensor/src/lib.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn json_escapes_and_terminates() {
+        let d = vec![Diagnostic {
+            rule: "nondet-iteration",
+            file: "a\"b.rs".into(),
+            line: 1,
+            col: 2,
+            message: "tab\there".into(),
+        }];
+        let j = to_json(&d);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("tab\\there"));
+        assert!(j.ends_with("]\n"));
+        assert_eq!(to_json(&[]), "[\n]\n");
+    }
+}

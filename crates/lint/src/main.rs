@@ -1,0 +1,74 @@
+//! CLI entry point: `cargo run -p buffalo-lint -- check [--json] [--root DIR]`.
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage/IO error.
+
+use buffalo_lint::{run_check, to_json, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: buffalo-lint check [--json] [--root DIR]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    // Default root: the workspace this binary was built from, so
+    // `cargo run -p buffalo-lint -- check` works from any cwd.
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match run_check(&root, &Config::workspace()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("buffalo-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", to_json(&report.diags));
+    } else {
+        for d in &report.diags {
+            println!("{d}");
+        }
+        if report.diags.is_empty() {
+            println!(
+                "buffalo-lint: clean — {} file(s), 0 diagnostics",
+                report.files_scanned
+            );
+        } else {
+            println!(
+                "buffalo-lint: {} diagnostic(s) across {} file(s) scanned",
+                report.diags.len(),
+                report.files_scanned
+            );
+        }
+    }
+    if report.diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

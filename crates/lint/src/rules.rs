@@ -1,0 +1,472 @@
+//! The five invariant rules, each a pattern over the lexed token stream.
+//!
+//! Every rule receives the same [`FileCtx`] view: `code` is the ordered
+//! list of token indices that are neither comments nor inside
+//! `#[cfg(test)]`/`#[cfg(loom)]` items, so test-only code is exempt by
+//! construction. Diagnostics carry the span of the offending token; the
+//! waiver layer in `lib.rs` decides what survives.
+
+use crate::lexer::{Tok, TokKind};
+use crate::{path_matches, Config, Diagnostic, FileCtx};
+
+/// Hash-based container type names banned in decision crates.
+const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Panicking macro names (matched when followed by `!`).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can legally precede a `[` without it being an index
+/// expression (`let [a, b] = ..`, `return [x]`, `in [..]`, …).
+const NON_INDEX_KEYWORDS: [&str; 18] = [
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "move", "as", "box", "dyn",
+    "where", "while", "loop", "break", "continue", "const",
+];
+
+fn diag(rule: &'static str, ctx: &FileCtx, t: &Tok, message: String, out: &mut Vec<Diagnostic>) {
+    out.push(Diagnostic {
+        rule,
+        file: ctx.path.to_string(),
+        line: t.line,
+        col: t.col,
+        message,
+    });
+}
+
+/// `nondet-iteration`: hash containers in decision crates. Even
+/// lookup-only uses are banned — deny-by-default means the reviewer never
+/// has to re-audit whether a `HashMap` quietly grew an iteration.
+pub fn nondet_iteration(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !path_matches(ctx.path, &cfg.decision_paths) {
+        return;
+    }
+    for &i in &ctx.code {
+        let t = &ctx.toks[i];
+        if t.kind == TokKind::Ident && HASH_TYPES.contains(&t.text.as_str()) {
+            diag(
+                "nondet-iteration",
+                ctx,
+                t,
+                format!(
+                    "`{}` in a decision crate — iteration order depends on RandomState; \
+                     use BTreeMap/BTreeSet or a sorted Vec",
+                    t.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// `no-panic-in-recovery`: `.unwrap()`, `.expect(..)`, panic-family
+/// macros, and (in the strict tier) `[]`-indexing on recovery-critical
+/// paths. These files must report failure as `TrainError`, not abort.
+pub fn no_panic_in_recovery(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !path_matches(ctx.path, &cfg.no_panic_paths) {
+        return;
+    }
+    let strict = path_matches(ctx.path, &cfg.strict_index_paths);
+    let code = &ctx.code;
+    let tok = |k: usize| -> Option<&Tok> { code.get(k).map(|&i| &ctx.toks[i]) };
+    for (k, &ti) in code.iter().enumerate() {
+        let t = &ctx.toks[ti];
+        match t.kind {
+            TokKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                let after_dot = k > 0 && tok(k - 1).is_some_and(|p| p.is_punct('.'));
+                let called = tok(k + 1).is_some_and(|n| n.is_punct('('));
+                if after_dot && called {
+                    diag(
+                        "no-panic-in-recovery",
+                        ctx,
+                        t,
+                        format!(
+                            "`.{}()` on a recovery-critical path — convert to `TrainError` \
+                             (or waive with a proof of infallibility)",
+                            t.text
+                        ),
+                        out,
+                    );
+                }
+            }
+            TokKind::Ident
+                if PANIC_MACROS.contains(&t.text.as_str())
+                    && tok(k + 1).is_some_and(|n| n.is_punct('!')) =>
+            {
+                diag(
+                    "no-panic-in-recovery",
+                    ctx,
+                    t,
+                    format!(
+                        "`{}!` on a recovery-critical path — return `TrainError`",
+                        t.text
+                    ),
+                    out,
+                );
+            }
+            TokKind::Punct('[') if strict && k > 0 => {
+                // Index expression: `expr[..]` — the previous token ends an
+                // expression. Type/pattern/attribute brackets are preceded
+                // by punctuation or keywords instead.
+                let prev = tok(k - 1).unwrap();
+                let is_index = match prev.kind {
+                    TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                    TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('?') => true,
+                    _ => false,
+                };
+                if is_index {
+                    diag(
+                        "no-panic-in-recovery",
+                        ctx,
+                        t,
+                        "`[]`-indexing in strict-tier recovery code — use `.get()` and \
+                         surface `TrainError` (or waive with a bounds proof)"
+                            .to_string(),
+                        out,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `no-wallclock-in-numerics`: `Instant::now` / `SystemTime::now`
+/// anywhere outside the bench harness. Wall-clock reads are fine for
+/// *reporting*, but each one is a waiver-documented exception so a clock
+/// can never silently leak into plans or numerics.
+pub fn no_wallclock_in_numerics(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if path_matches(ctx.path, &cfg.wallclock_exempt_paths) {
+        return;
+    }
+    let code = &ctx.code;
+    let tok = |k: usize| -> Option<&Tok> { code.get(k).map(|&i| &ctx.toks[i]) };
+    for (k, &ti) in code.iter().enumerate() {
+        let t = &ctx.toks[ti];
+        if t.kind == TokKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+            let is_now = tok(k + 1).is_some_and(|a| a.is_punct(':'))
+                && tok(k + 2).is_some_and(|b| b.is_punct(':'))
+                && tok(k + 3).is_some_and(|c| c.is_ident("now"));
+            if is_now {
+                diag(
+                    "no-wallclock-in-numerics",
+                    ctx,
+                    t,
+                    format!(
+                        "`{}::now()` outside the bench harness — wall-clock must not feed \
+                         numerics; waive if the value is reporting-only",
+                        t.text
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// `undocumented-unsafe`: every `unsafe` *block* must carry a
+/// `// SAFETY:` comment on the same line or within the three lines above
+/// it, stating the invariant that makes it sound. `unsafe fn` signatures
+/// are the caller's contract and are not flagged — only block bodies,
+/// where the obligation is discharged.
+pub fn undocumented_unsafe(ctx: &FileCtx, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let code = &ctx.code;
+    for k in 0..code.len() {
+        let t = &ctx.toks[code[k]];
+        if !(t.kind == TokKind::Ident && t.text == "unsafe") {
+            continue;
+        }
+        let opens_block = code.get(k + 1).is_some_and(|&j| ctx.toks[j].is_punct('{'));
+        if !opens_block {
+            continue;
+        }
+        // A comment ending within the 3 lines above `unsafe` (or trailing
+        // on its line) counts, and a contiguous run of `//` lines is one
+        // comment: `SAFETY:` may sit on the run's first line even when the
+        // justification is long.
+        let lo = t.line.saturating_sub(3);
+        let comment_lines: Vec<(u32, &str)> = ctx
+            .comments
+            .iter()
+            .map(|&ci| (ctx.toks[ci].line, ctx.toks[ci].text.as_str()))
+            .collect();
+        let documented = comment_lines.iter().any(|&(line, _)| {
+            if line < lo || line > t.line {
+                return false;
+            }
+            // Walk upward through contiguous comment lines from here.
+            let mut cur = line;
+            loop {
+                if comment_lines
+                    .iter()
+                    .any(|&(l, txt)| l == cur && txt.contains("SAFETY:"))
+                {
+                    return true;
+                }
+                if cur > 1 && comment_lines.iter().any(|&(l, _)| l == cur - 1) {
+                    cur -= 1;
+                } else {
+                    return false;
+                }
+            }
+        });
+        if !documented {
+            diag(
+                "undocumented-unsafe",
+                ctx,
+                t,
+                "`unsafe` block without a `// SAFETY:` comment in the 3 preceding lines"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// `unaccounted-alloc`: types that hold device state (a field mentioning
+/// `AllocId` or `dyn Device`) must not raw-allocate in their impls —
+/// device bytes flow through the memsim accounting API or the OOM
+/// simulation under-counts.
+///
+/// Heuristic and deliberately per-file (struct + impl in the same file,
+/// the norm in this workspace): pass 1 collects device-state struct
+/// names, pass 2 flags `vec!` / `with_capacity` / `reserve` / `resize`
+/// inside `impl` blocks naming one of them.
+pub fn unaccounted_alloc(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if path_matches(ctx.path, &cfg.alloc_exempt_paths) {
+        return;
+    }
+    let code = &ctx.code;
+    let tok = |k: usize| -> &Tok { &ctx.toks[code[k]] };
+
+    // Pass 1: struct names whose body mentions device state.
+    let mut names: Vec<String> = Vec::new();
+    let mut k = 0usize;
+    while k < code.len() {
+        if !(tok(k).is_ident("struct") && k + 1 < code.len() && tok(k + 1).kind == TokKind::Ident) {
+            k += 1;
+            continue;
+        }
+        let name = tok(k + 1).text.clone();
+        // Body: first brace-matched `{..}` or paren group before `;`.
+        let (body_start, body_end) = match item_body(ctx, code, k + 2) {
+            Some(span) => span,
+            None => {
+                k += 2;
+                continue;
+            }
+        };
+        let mut holds_device_state = false;
+        for j in body_start..body_end {
+            if tok(j).is_ident("AllocId")
+                || (tok(j).is_ident("dyn") && j + 1 < body_end && tok(j + 1).is_ident("Device"))
+            {
+                holds_device_state = true;
+                break;
+            }
+        }
+        if holds_device_state {
+            names.push(name);
+        }
+        k = body_end;
+    }
+    if names.is_empty() {
+        return;
+    }
+
+    // Pass 2: impl blocks over those names.
+    let mut k = 0usize;
+    while k < code.len() {
+        if !tok(k).is_ident("impl") {
+            k += 1;
+            continue;
+        }
+        // Header runs to the body `{` (generics contain no braces).
+        let mut open = None;
+        let mut header_hits = false;
+        for j in k + 1..code.len() {
+            match tok(j).kind {
+                TokKind::Punct('{') => {
+                    open = Some(j);
+                    break;
+                }
+                TokKind::Ident if names.iter().any(|n| tok(j).text == *n) => header_hits = true,
+                _ => {}
+            }
+        }
+        let Some(open) = open else { break };
+        let close = match matching_brace(ctx, code, open) {
+            Some(c) => c,
+            None => code.len(),
+        };
+        if header_hits {
+            for j in open + 1..close {
+                let t = tok(j);
+                let flagged = (t.is_ident("vec") && j + 1 < close && tok(j + 1).is_punct('!'))
+                    || ((t.is_ident("with_capacity")
+                        || t.is_ident("reserve")
+                        || t.is_ident("reserve_exact")
+                        || t.is_ident("resize"))
+                        && j > 0
+                        && (tok(j - 1).is_punct('.') || tok(j - 1).is_punct(':'))
+                        && j + 1 < close
+                        && tok(j + 1).is_punct('('));
+                if flagged {
+                    diag(
+                        "unaccounted-alloc",
+                        ctx,
+                        t,
+                        format!(
+                            "raw allocation (`{}`) in the impl of a device-state type — \
+                             route device memory through the memsim accounting API, or \
+                             waive if this buffer is host-side",
+                            t.text
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+        k = close + 1;
+    }
+}
+
+/// Span `(start, end)` of the item body opening at-or-after `from`:
+/// either a brace block or (for tuple structs) a paren group; `None` for
+/// unit structs / EOF.
+fn item_body(ctx: &FileCtx, code: &[usize], from: usize) -> Option<(usize, usize)> {
+    for j in from..code.len() {
+        match ctx.toks[code[j]].kind {
+            TokKind::Punct('{') => return matching_brace(ctx, code, j).map(|c| (j + 1, c)),
+            TokKind::Punct('(') => {
+                let mut depth = 0usize;
+                for (m, &cm) in code.iter().enumerate().skip(j) {
+                    match ctx.toks[cm].kind {
+                        TokKind::Punct('(') => depth += 1,
+                        TokKind::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some((j + 1, m));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                return None;
+            }
+            TokKind::Punct(';') => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index (in `code` space) of the `}` matching the `{` at `open`.
+fn matching_brace(ctx: &FileCtx, code: &[usize], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, &cj) in code.iter().enumerate().skip(open) {
+        match ctx.toks[cj].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_file;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check_file("f.rs", src, &Config::all_files())
+    }
+
+    #[test]
+    fn flags_hash_containers_but_not_in_strings() {
+        let d = run("use std::collections::HashMap;\nconst S: &str = \"HashMap\";\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].rule, d[0].line), ("nondet-iteration", 1));
+    }
+
+    #[test]
+    fn unwrap_needs_dot_and_call() {
+        // A fn named `unwrap` or a bare path mention is not `.unwrap()`.
+        let d = run("fn unwrap() {}\nfn g(x: Option<u32>) -> u32 { x.unwrap() }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        assert!(run("fn g(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n").is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_only_in_expressions() {
+        let ok = "fn f() { let [a, b] = [1u8, 2]; let _t: [u8; 2] = [a, b]; }\n";
+        assert!(run(ok).is_empty());
+        let bad = "fn f(v: &[u8]) -> u8 { v[0] }\n";
+        let d = run(bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-panic-in-recovery");
+    }
+
+    #[test]
+    fn attribute_brackets_are_not_indexing() {
+        assert!(run("#[derive(Debug)]\nstruct S;\n").is_empty());
+    }
+
+    #[test]
+    fn wallclock_pattern_requires_now() {
+        assert!(run("fn f(t: std::time::Instant) -> std::time::Instant { t }\n").is_empty());
+        let d = run("fn f() { let _ = std::time::Instant::now(); }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-wallclock-in-numerics");
+    }
+
+    #[test]
+    fn safety_comment_within_three_lines_passes() {
+        let ok = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        assert!(run(ok).is_empty());
+        let far = "fn f(p: *const u8) -> u8 {\n    // SAFETY: too far away.\n\n\n\n    unsafe { *p }\n}\n";
+        let d = run(far);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "undocumented-unsafe");
+    }
+
+    #[test]
+    fn long_safety_comment_run_counts_from_its_first_line() {
+        // SAFETY: on the first line of a 5-line contiguous comment whose
+        // last line is adjacent to the unsafe block.
+        let ok = "fn f(p: *const u8) -> u8 {\n    // SAFETY: the caller upholds the\n    // following chain of invariants,\n    // spelled out at length across\n    // several lines of justification\n    // ending right above the block.\n    unsafe { *p }\n}\n";
+        assert!(run(ok).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_signature_is_not_a_block() {
+        assert!(run("unsafe fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn alloc_rule_needs_device_state_struct() {
+        let clean = "struct Plain { n: usize }\nimpl Plain { fn f(&self) -> Vec<u8> { Vec::with_capacity(self.n) } }\n";
+        assert!(run(clean).is_empty());
+        let bad = "struct Buf { id: AllocId }\nimpl Buf { fn f(&self) -> Vec<u8> { Vec::with_capacity(4) } }\n";
+        let d = run(bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unaccounted-alloc");
+    }
+
+    #[test]
+    fn dyn_device_field_also_marks_struct() {
+        let bad = "struct R<'d> { dev: &'d dyn Device }\nimpl<'d> R<'d> { fn f(&self) { let _v = vec![0u8; 4]; } }\n";
+        let d = run(bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unaccounted-alloc");
+    }
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture for `unaccounted-alloc`: exactly one diagnostic,
+//! the `with_capacity` inside the impl of a type holding an `AllocId`.
+
+pub struct DeviceBuf {
+    id: AllocId,
+    len: usize,
+}
+
+impl DeviceBuf {
+    pub fn scratch(&self) -> Vec<u8> {
+        Vec::with_capacity(self.len)
+    }
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture for `no-panic-in-recovery`: exactly one diagnostic,
+//! the `.unwrap()` call.
+
+pub fn restore(payload: Option<u32>) -> u32 {
+    payload.unwrap()
+}

@@ -1,0 +1,9 @@
+//! Known-bad fixture for `nondet-iteration`: exactly one diagnostic,
+//! the `HashMap` import. Never compiled — consumed as text by the
+//! fixture tests.
+
+use std::collections::HashMap;
+
+pub fn build_index(n: usize) -> usize {
+    n
+}

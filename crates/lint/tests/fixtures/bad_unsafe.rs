@@ -1,0 +1,6 @@
+//! Known-bad fixture for `undocumented-unsafe`: exactly one diagnostic,
+//! the `unsafe` block lacking a safety justification comment.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

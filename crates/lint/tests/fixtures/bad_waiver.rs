@@ -1,0 +1,9 @@
+//! Bad-waiver fixture: the waiver names a real rule but gives no reason,
+//! so it is reported as `invalid-waiver` and suppresses nothing — the
+//! wallclock diagnostic survives alongside it.
+
+pub fn tagged() -> f64 {
+    // lint:allow(no-wallclock-in-numerics)
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}

@@ -1,0 +1,7 @@
+//! Known-bad fixture for `no-wallclock-in-numerics`: exactly one
+//! diagnostic, the `Instant::now()` call.
+
+pub fn stamp() -> f64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}

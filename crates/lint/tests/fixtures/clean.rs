@@ -1,0 +1,17 @@
+//! Known-clean fixture: ordered containers, Result plumbing, documented
+//! unsafe — zero diagnostics under every rule.
+
+use std::collections::BTreeMap;
+
+pub fn lookup(m: &BTreeMap<u32, u32>, k: u32) -> Result<u32, String> {
+    match m.get(&k) {
+        Some(v) => Ok(*v),
+        None => Err(format!("missing {k}")),
+    }
+}
+
+pub fn first(v: &[u8]) -> u8 {
+    // SAFETY: illustrative only — the fixture pretends the caller
+    // guarantees `v` is non-empty.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,7 @@
+//! Unused-waiver fixture: a well-formed waiver that matches no
+//! diagnostic is itself reported.
+
+pub fn quiet() -> u32 {
+    // lint:allow(nondet-iteration): nothing here actually uses a hash map
+    7
+}

@@ -1,0 +1,82 @@
+//! Fixture-driven coverage of every rule: each known-bad snippet under
+//! `tests/fixtures/` yields exactly one diagnostic from its target rule,
+//! the clean and waived fixtures yield none, and the JSON rendering of a
+//! full fixture-directory scan matches a committed golden file.
+
+use buffalo_lint::{check_file, run_check, to_json, Config};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn lint_fixture(name: &str) -> Vec<buffalo_lint::Diagnostic> {
+    let src = fs::read_to_string(fixture_dir().join(name)).expect(name);
+    check_file(name, &src, &Config::all_files())
+}
+
+#[test]
+fn each_rule_has_a_bad_fixture_with_exactly_one_diagnostic() {
+    for (file, rule) in [
+        ("bad_nondet.rs", "nondet-iteration"),
+        ("bad_no_panic.rs", "no-panic-in-recovery"),
+        ("bad_wallclock.rs", "no-wallclock-in-numerics"),
+        ("bad_unsafe.rs", "undocumented-unsafe"),
+        ("bad_alloc.rs", "unaccounted-alloc"),
+    ] {
+        let diags = lint_fixture(file);
+        assert_eq!(
+            diags.len(),
+            1,
+            "{file} should yield exactly one diagnostic, got: {diags:?}"
+        );
+        assert_eq!(diags[0].rule, rule, "{file}");
+        assert!(diags[0].line > 0 && diags[0].col > 0, "{file} span missing");
+    }
+}
+
+#[test]
+fn clean_fixture_yields_nothing() {
+    assert_eq!(lint_fixture("clean.rs"), vec![]);
+}
+
+#[test]
+fn waived_fixture_is_suppressed_and_waiver_counts_as_used() {
+    assert_eq!(lint_fixture("waived.rs"), vec![]);
+}
+
+#[test]
+fn reasonless_waiver_is_invalid_and_suppresses_nothing() {
+    let diags = lint_fixture("bad_waiver.rs");
+    let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    assert!(rules.contains(&"invalid-waiver"), "{diags:?}");
+    assert!(rules.contains(&"no-wallclock-in-numerics"), "{diags:?}");
+}
+
+#[test]
+fn waiver_matching_no_diagnostic_is_reported() {
+    let diags = lint_fixture("unused_waiver.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "unused-waiver");
+}
+
+/// Golden-file check of the machine-readable output: scanning the whole
+/// fixture directory (sorted walk, sorted diagnostics) must render to
+/// byte-identical JSON run over run.
+#[test]
+fn json_output_matches_golden_file() {
+    let report = run_check(&fixture_dir(), &Config::all_files()).expect("scan fixtures");
+    let actual = to_json(&report.diags);
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_lint.json");
+    let golden = fs::read_to_string(&golden_path).expect("golden_lint.json");
+    if actual != golden {
+        // Leave the actual rendering somewhere inspectable before failing.
+        let dump = std::env::temp_dir().join("lint_golden_actual.json");
+        fs::write(&dump, &actual).ok();
+        panic!(
+            "JSON output diverges from tests/golden_lint.json; actual written to {}",
+            dump.display()
+        );
+    }
+}

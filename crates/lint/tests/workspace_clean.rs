@@ -1,0 +1,23 @@
+//! The linter's own acceptance gate, enforced from the test suite so
+//! `cargo test --workspace` fails the moment an unwaived diagnostic
+//! lands — CI does not even need to reach the dedicated lint step.
+
+use buffalo_lint::{run_check, Config};
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unwaived_diagnostics() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run_check(&root, &Config::workspace()).expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broke?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        report.diags.is_empty(),
+        "workspace must lint clean:\n{}",
+        rendered.join("\n")
+    );
+}

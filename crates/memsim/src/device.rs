@@ -1,6 +1,6 @@
 //! Budgeted device-memory simulator.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -102,7 +102,11 @@ pub trait Device: Sync {
 
 #[derive(Debug, Default)]
 struct State {
-    live: HashMap<u64, u64>,
+    /// Live allocations by id. Ordered map so that any future drain or
+    /// debug dump of the allocation table is id-ordered — hash containers
+    /// are banned from memsim by the nondet-iteration lint because
+    /// allocation-table walks feed accounting decisions.
+    live: BTreeMap<u64, u64>,
     in_use: u64,
     peak: u64,
 }

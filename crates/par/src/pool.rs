@@ -4,9 +4,26 @@ use crate::config::Parallelism;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::thread;
+
+// Under `--cfg loom` every synchronization primitive the pool touches is
+// swapped for loom's instrumented equivalent, so the `tests/loom_model.rs`
+// model test explores the handoff protocol (submit → worker wake → steal →
+// latch → join) under many schedules. Production builds compile the exact
+// std types as before.
+#[cfg(loom)]
+use loom::{
+    sync::atomic::{AtomicBool, Ordering},
+    sync::{Arc, Condvar, Mutex},
+    thread,
+};
+#[cfg(not(loom))]
+use std::{
+    sync::atomic::{AtomicBool, Ordering},
+    sync::{Arc, Condvar, Mutex},
+    thread,
+};
+
+use std::sync::OnceLock;
 
 /// Hard cap on pool worker threads, a guard against absurd `--threads`
 /// values (the caller thread always participates on top of these).

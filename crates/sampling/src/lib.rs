@@ -32,7 +32,7 @@
 use buffalo_graph::{CsrGraph, GraphBuilder, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A sampled training batch: the `L`-hop sampled subgraph around a seed set.
 ///
@@ -182,7 +182,11 @@ impl BatchSampler {
     pub fn sample(&self, graph: &CsrGraph, seeds: &[NodeId], seed: u64) -> Batch {
         assert!(!seeds.is_empty(), "seed set must be non-empty");
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut local_of: HashMap<NodeId, NodeId> = HashMap::with_capacity(seeds.len() * 4);
+        // Ordered map, not a hash map: `local_of` is only ever *probed*
+        // (never iterated), but the nondet-iteration lint bans hash
+        // containers from sampling wholesale so a future drain cannot
+        // silently order the batch by hasher state.
+        let mut local_of: BTreeMap<NodeId, NodeId> = BTreeMap::new();
         let mut global_ids: Vec<NodeId> = Vec::with_capacity(seeds.len() * 4);
         for &s in seeds {
             assert!((s as usize) < graph.num_nodes(), "seed {s} out of range");

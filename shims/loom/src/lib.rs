@@ -1,0 +1,280 @@
+//! Hermetic stand-in for the [`loom`](https://crates.io/crates/loom) model
+//! checker, API-compatible with the subset `buffalo-par` uses.
+//!
+//! The build environment has no registry access, so the real loom cannot be
+//! vendored. This shim keeps the *workflow* intact — `#[cfg(loom)]`-gated
+//! model tests, `RUSTFLAGS="--cfg loom" cargo test` — while substituting
+//! loom's exhaustive DPOR exploration with **bounded randomized schedule
+//! exploration**: [`model`] re-runs the closure under many seeded
+//! schedules, and every synchronization operation routed through this
+//! crate's [`sync`]/[`thread`] types passes a *schedule point* that
+//! perturbs thread interleaving (yields, occasional nanosleeps) with
+//! per-run-seeded probabilities.
+//!
+//! That is strictly weaker than real loom: it cannot prove the absence of
+//! a race, only hunt for one across a few hundred diverse interleavings.
+//! The types are drop-in, so pointing `Cargo.toml` at the real crate
+//! upgrades the same tests to exhaustive checking with no source change.
+//!
+//! Iteration count defaults to 200 and can be overridden with the
+//! `LOOM_SHIM_ITERS` environment variable.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// Per-model-iteration schedule seed; each spawned thread derives its own
+/// stream from this so runs differ but a single run is reproducible.
+static SCHEDULE_SEED: AtomicU64 = AtomicU64::new(1);
+/// Yield density for the current model iteration: a schedule point yields
+/// when its RNG draw modulo this value is zero (1 = yield at every point).
+static YIELD_MODULUS: AtomicU64 = AtomicU64::new(2);
+
+thread_local! {
+    static RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+fn xorshift(state: u64) -> u64 {
+    let mut x = state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// A schedule point: advance this thread's RNG stream and perturb the
+/// scheduler according to the current model iteration's yield density.
+/// Called by every lock/wait/atomic/spawn in this crate.
+fn schedule_point() {
+    let drawn = RNG.with(|r| {
+        let mut s = r.get();
+        if s == 0 {
+            // First point on this thread: fold the thread id into the
+            // model seed so sibling workers do not move in lockstep.
+            let tid = std::thread::current().id();
+            let mut h = SCHEDULE_SEED.load(StdOrdering::Relaxed);
+            h ^= format!("{tid:?}")
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |a, b| {
+                    (a ^ b as u64).wrapping_mul(0x1_0000_01b3)
+                });
+            s = h | 1;
+        }
+        s = xorshift(s);
+        r.set(s);
+        s
+    });
+    let modulus = YIELD_MODULUS.load(StdOrdering::Relaxed).max(1);
+    if drawn.is_multiple_of(modulus) {
+        if drawn.is_multiple_of(modulus * 8) {
+            // A real preemption window, not just a queue rotation: forces
+            // the OS to consider running another thread.
+            std::thread::sleep(std::time::Duration::from_nanos(1));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Runs `f` under many seeded schedules (loom's `model` entry point).
+///
+/// Each iteration reseeds the schedule-point RNG and sweeps the yield
+/// density from "yield at every sync op" to "yield rarely", so the
+/// closure sees both fine-grained and coarse interleavings.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    for i in 0..iters {
+        SCHEDULE_SEED.store(
+            0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1) | 1,
+            StdOrdering::Relaxed,
+        );
+        YIELD_MODULUS.store(1 + (i % 8), StdOrdering::Relaxed);
+        RNG.with(|r| r.set(0));
+        f();
+    }
+}
+
+/// Instrumented drop-ins for `std::thread`.
+pub mod thread {
+    pub use std::thread::{current, scope, ThreadId};
+
+    /// A join handle mirroring `std::thread::JoinHandle`.
+    pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish (schedule point first).
+        pub fn join(self) -> std::thread::Result<T> {
+            super::schedule_point();
+            self.0.join()
+        }
+    }
+
+    /// Spawns an instrumented thread: the child starts from a fresh
+    /// RNG stream and passes a schedule point before running `f`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::schedule_point();
+        JoinHandle(std::thread::spawn(move || {
+            super::RNG.with(|r| r.set(0));
+            super::schedule_point();
+            f()
+        }))
+    }
+
+    /// Mirrors `std::thread::Builder` (name only — that is all the pool
+    /// uses).
+    #[derive(Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        /// A new builder with no name set.
+        pub fn new() -> Self {
+            Builder::default()
+        }
+
+        /// Names the thread-to-be.
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// Spawns the instrumented thread.
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            super::schedule_point();
+            let mut b = std::thread::Builder::new();
+            if let Some(n) = self.name {
+                b = b.name(n);
+            }
+            b.spawn(move || {
+                super::RNG.with(|r| r.set(0));
+                super::schedule_point();
+                f()
+            })
+            .map(JoinHandle)
+        }
+    }
+
+    /// Re-exported yield (itself a schedule point).
+    pub fn yield_now() {
+        super::schedule_point();
+        std::thread::yield_now();
+    }
+}
+
+/// Instrumented drop-ins for `std::sync`.
+pub mod sync {
+    pub use std::sync::{Arc, LockResult, MutexGuard, PoisonError};
+
+    /// `std::sync::Mutex` with a schedule point before every acquisition.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex.
+        pub fn new(t: T) -> Self {
+            Mutex(std::sync::Mutex::new(t))
+        }
+
+        /// Acquires the lock (schedule point first).
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            super::schedule_point();
+            self.0.lock()
+        }
+    }
+
+    /// `std::sync::Condvar` with schedule points around waits/notifies.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// Creates the condvar.
+        pub fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Waits on the condition (schedule points on both edges).
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            super::schedule_point();
+            let out = self.0.wait(guard);
+            super::schedule_point();
+            out
+        }
+
+        /// Wakes one waiter.
+        pub fn notify_one(&self) {
+            super::schedule_point();
+            self.0.notify_one();
+        }
+
+        /// Wakes all waiters.
+        pub fn notify_all(&self) {
+            super::schedule_point();
+            self.0.notify_all();
+        }
+    }
+
+    /// Instrumented atomics.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        /// `AtomicBool` with schedule points on every access.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates the atomic.
+            pub fn new(v: bool) -> Self {
+                AtomicBool(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Loads the value (schedule point first).
+            pub fn load(&self, order: Ordering) -> bool {
+                super::super::schedule_point();
+                self.0.load(order)
+            }
+
+            /// Stores a value (schedule point first).
+            pub fn store(&self, v: bool, order: Ordering) {
+                super::super::schedule_point();
+                self.0.store(v, order);
+            }
+        }
+
+        /// `AtomicUsize` with schedule points on every access.
+        #[derive(Debug, Default)]
+        pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+        impl AtomicUsize {
+            /// Creates the atomic.
+            pub fn new(v: usize) -> Self {
+                AtomicUsize(std::sync::atomic::AtomicUsize::new(v))
+            }
+
+            /// Loads the value (schedule point first).
+            pub fn load(&self, order: Ordering) -> usize {
+                super::super::schedule_point();
+                self.0.load(order)
+            }
+
+            /// Adds and returns the previous value (schedule point first).
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                super::super::schedule_point();
+                self.0.fetch_add(v, order)
+            }
+        }
+    }
+}

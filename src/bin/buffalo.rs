@@ -24,7 +24,7 @@ use buffalo::memsim::{
     AggregatorKind, CostModel, Device, DeviceMemory, FaultPlan, FaultyDevice, GnnShape,
 };
 use buffalo::sampling::{BatchSampler, SeedBatches};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -60,13 +60,13 @@ const USAGE: &str = "usage:
 /// Parsed `--key value` options with positional arguments.
 struct Options {
     positional: Vec<String>,
-    flags: HashMap<String, String>,
+    flags: BTreeMap<String, String>,
 }
 
 impl Options {
     fn parse(args: &[String]) -> Result<Options, String> {
         let mut positional = Vec::new();
-        let mut flags = HashMap::new();
+        let mut flags = BTreeMap::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {

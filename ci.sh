@@ -8,7 +8,12 @@ cd "$(dirname "$0")"
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q --workspace
+cargo build --examples --release
 cargo bench --workspace --no-run
+
+# The API docs must build clean: broken intra-doc links or malformed
+# rustdoc are errors, not warnings.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 # Static invariants (DESIGN.md § "Static invariants"): deny-by-default
 # linter over the whole workspace — determinism, panic-freedom on the
@@ -97,8 +102,26 @@ if [ "$bits" != "$(cat tests/golden/cora_epochs2_bits.txt)" ]; then
 fi
 echo "ci: cora epoch table and trail match the pre-refactor golden bitwise"
 
+# Serving smoke: `buffalo serve` replays a seeded trace through the same
+# engine and bucket scheduler as training; two runs must produce
+# byte-identical output (per-request answers, latency bits, digest).
+s1=$(cargo run -q --release --bin buffalo -- serve cora --budget 12M \
+  --trace 'poisson:n=64,rate=128,seed=7')
+s2=$(cargo run -q --release --bin buffalo -- serve cora --budget 12M \
+  --trace 'poisson:n=64,rate=128,seed=7')
+if [ "$s1" != "$s2" ]; then
+  echo "ci: FAIL — buffalo serve diverged between two identical runs" >&2
+  diff <(printf '%s\n' "$s1") <(printf '%s\n' "$s2") >&2 || true
+  exit 1
+fi
+echo "ci: buffalo serve replay byte-identical"
+
 # Kernel microbenchmarks (without --write-bench this prints the table but
 # leaves the committed BENCH_kernels.json untouched).
 cargo run -q --release -p buffalo-bench --bin figures -- kernels --quick
+
+# The serving experiment must run end-to-end (table only; the committed
+# BENCH_serving.json is regenerated with --write-bench).
+cargo run -q --release -p buffalo-bench --bin figures -- serving --quick
 
 echo "ci: all checks passed"

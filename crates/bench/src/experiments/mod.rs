@@ -11,6 +11,7 @@ pub mod memwall;
 pub mod multigpu;
 pub mod pareto;
 pub mod robustness;
+pub mod serving;
 pub mod tables;
 pub mod tiered;
 pub mod timing;
@@ -42,6 +43,7 @@ pub const ALL_IDS: &[&str] = &[
     "kernels",
     "robustness",
     "checkpoint",
+    "serving",
 ];
 
 /// Runs one experiment by id. `write_bench` gates the `BENCH_*.json`
@@ -79,6 +81,7 @@ pub fn run(id: &str, quick: bool, write_bench: bool) -> Result<(), String> {
         "kernels" => kernels::kernels(quick, write_bench),
         "robustness" => robustness::robustness(quick, write_bench),
         "checkpoint" => checkpoint::checkpoint(quick, write_bench),
+        "serving" => serving::serving(quick, write_bench),
         other => return Err(format!("unknown experiment id `{other}`")),
     }
     println!();

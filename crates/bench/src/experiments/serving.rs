@@ -1,0 +1,130 @@
+//! Online-serving experiment, written to `BENCH_serving.json`.
+//!
+//! Drives a warmed-up [`Engine`] through a seeded Poisson request trace
+//! with `serve_trace` — the same Prepare/Execute pipeline and bucket
+//! scheduler as training, forward-only. Three measurements:
+//!
+//! 1. **Headline numbers** — throughput and the latency distribution
+//!    (p50/p95/p99/max) under a tight device budget, chosen as 60 % of
+//!    the single-dispatch footprint so the scheduler visibly splits
+//!    coalesced batches to stay admitted.
+//! 2. **Budget admission** — the peak simulated device memory must stay
+//!    under the stated budget even though a roomy device would run each
+//!    dispatch as one micro-batch.
+//! 3. **Determinism** — the run is replayed and the per-request output
+//!    digests compared; serving shares FaultPlan's discipline of seeded,
+//!    wall-clock-free simulation, so the digests must match bitwise.
+
+use crate::context::load_workload_with;
+use crate::output::{mem, secs, Table};
+use buffalo_core::serve::{serve_trace, RequestTrace, ServeConfig, ServeReport};
+use buffalo_core::train::{Engine, TrainConfig};
+use buffalo_graph::datasets::DatasetName;
+use buffalo_memsim::{AggregatorKind, CostModel, DeviceMemory};
+
+const WARMUP_ITERS: usize = 3;
+
+fn light_config(w: &crate::context::Workload) -> TrainConfig {
+    TrainConfig {
+        shape: w.shape(32, AggregatorKind::Mean),
+        fanouts: w.fanouts.clone(),
+        lr: 0.01,
+        seed: 17,
+        parallelism: buffalo_par::Parallelism::auto(),
+    }
+}
+
+/// Runs the serving experiment; with `write_bench` it also rewrites
+/// `BENCH_serving.json`.
+pub fn serving(quick: bool, write_bench: bool) {
+    let w = load_workload_with(DatasetName::Cora, 256, vec![5, 10], 42);
+    let cost = CostModel::rtx6000();
+
+    // Warm the model with a few training iterations so served predictions
+    // come from a trained parameterization, not the init.
+    let mut engine = Engine::buffalo(light_config(&w), w.clustering);
+    let warm_dev = DeviceMemory::with_gib(24.0);
+    for _ in 0..WARMUP_ITERS {
+        engine
+            .train_iteration(&w.dataset, &w.batch, &warm_dev, &cost)
+            .expect("warmup iteration");
+    }
+
+    let n = if quick { 128 } else { 512 };
+    let trace =
+        RequestTrace::poisson(n, 256.0, w.dataset.graph.num_nodes(), 7).expect("poisson trace");
+    let cfg = ServeConfig::default();
+
+    // Probe the roomy-device footprint, then serve under 60 % of it so the
+    // bucket scheduler has to split dispatches for admission.
+    let probe = DeviceMemory::with_gib(24.0);
+    let wide =
+        serve_trace(&engine, &w.dataset, &probe, &cost, &trace, &cfg).expect("roomy serve run");
+    let budget = wide.peak_mem_bytes * 3 / 5;
+    let run = |label: &str| -> ServeReport {
+        let device = DeviceMemory::new(budget);
+        serve_trace(&engine, &w.dataset, &device, &cost, &trace, &cfg)
+            .unwrap_or_else(|e| panic!("{label} serve run: {e}"))
+    };
+    let report = run("budgeted");
+    let replay = run("replay");
+    let deterministic = report.output_digest == replay.output_digest
+        && report.latency.p99.to_bits() == replay.latency.p99.to_bits();
+
+    let mut t = Table::new(["measurement", "value"]);
+    t.row([
+        "requests served".to_string(),
+        format!(
+            "{} ({} batches, {} micro-batches)",
+            report.requests.len(),
+            report.num_batches,
+            report.num_micro_batches
+        ),
+    ]);
+    t.row([
+        "device budget".to_string(),
+        format!(
+            "{} (peak {}, roomy peak {})",
+            mem(report.budget_bytes),
+            mem(report.peak_mem_bytes),
+            mem(wide.peak_mem_bytes)
+        ),
+    ]);
+    t.row([
+        "under budget".to_string(),
+        (report.peak_mem_bytes <= report.budget_bytes).to_string(),
+    ]);
+    t.row([
+        "scheduler split dispatches".to_string(),
+        (report.num_micro_batches > report.num_batches).to_string(),
+    ]);
+    t.row([
+        "throughput".to_string(),
+        format!(
+            "{:.1} req/s over {}",
+            report.throughput_rps,
+            secs(report.span_seconds)
+        ),
+    ]);
+    t.row([
+        "latency p50/p95/p99/max".to_string(),
+        format!(
+            "{} / {} / {} / {}",
+            secs(report.latency.p50),
+            secs(report.latency.p95),
+            secs(report.latency.p99),
+            secs(report.latency.max)
+        ),
+    ]);
+    t.row([
+        "replay digest identical".to_string(),
+        format!("{deterministic} ({:016x})", report.output_digest),
+    ]);
+    t.print();
+
+    crate::output::write_artifact(
+        "BENCH_serving.json",
+        &report.to_json("rtx6000"),
+        write_bench,
+    );
+}

@@ -21,6 +21,7 @@ pub struct PreparedBlocks {
     features: Vec<f32>,
     feat_dim: usize,
     labels: Vec<u32>,
+    output_globals: Vec<NodeId>,
     block_gen_seconds: f64,
     gather_seconds: f64,
 }
@@ -48,6 +49,7 @@ impl PreparedBlocks {
             features: Vec::new(),
             feat_dim: 0,
             labels: Vec::new(),
+            output_globals: Vec::new(),
             block_gen_seconds: t0.elapsed().as_secs_f64(),
             gather_seconds: 0.0,
         }
@@ -60,6 +62,7 @@ impl PreparedBlocks {
             features: Vec::new(),
             feat_dim: 0,
             labels: Vec::new(),
+            output_globals: Vec::new(),
             block_gen_seconds: 0.0,
             gather_seconds: 0.0,
         }
@@ -128,6 +131,29 @@ impl PreparedBlocks {
         );
         self.labels = labels;
         self.gather_seconds += gather_seconds;
+    }
+
+    /// Attaches the dataset-global ids of the output nodes (one per
+    /// output, same order as [`output_dsts`](Self::output_dsts)). The
+    /// output ids in the blocks are micro-batch-local; inference consumers
+    /// need the globals to map predictions back to dataset nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id count does not match `num_outputs()`.
+    pub fn set_output_globals(&mut self, globals: Vec<NodeId>) {
+        assert_eq!(
+            globals.len(),
+            self.num_outputs(),
+            "global id count does not match output nodes"
+        );
+        self.output_globals = globals;
+    }
+
+    /// Dataset-global ids of the output nodes; empty unless
+    /// [`set_output_globals`](Self::set_output_globals) was called.
+    pub fn output_globals(&self) -> &[NodeId] {
+        &self.output_globals
     }
 
     /// Wall-clock seconds spent generating blocks.

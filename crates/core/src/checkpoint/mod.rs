@@ -49,14 +49,18 @@ pub struct ParamState {
     pub v: Vec<f32>,
 }
 
-/// The trainer-owned state of a [`TrainSnapshot`]: everything captured
-/// from (and restored into) an `IterationTrainer`.
+/// The engine-owned state of a [`TrainSnapshot`]: everything
+/// [`Engine::capture_state`](crate::train::Engine::capture_state)
+/// captures and
+/// [`Engine::restore_state`](crate::train::Engine::restore_state)
+/// restores — the single snapshot implementation every
+/// `IterationTrainer` driver shares.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainerState {
     /// Adam's step counter (bias correction depends on it).
     pub adam_t: u64,
-    /// The headroom calibrator's multiplier (1.0 for trainers without a
-    /// calibrator).
+    /// The headroom calibrator's multiplier (1.0 in whole-batch mode,
+    /// where the calibrator is inert).
     pub headroom_multiplier: f64,
     /// All trainable parameters, in the model's canonical order.
     pub params: Vec<ParamState>,
@@ -107,7 +111,7 @@ pub struct CheckpointOptions {
     /// rung entirely.
     pub max_rollbacks: usize,
     /// Injected crash for fault testing (see
-    /// [`CrashPoint`](buffalo_memsim::CrashPoint)); `None` in production.
+    /// [`CrashPoint`]); `None` in production.
     pub crash: Option<CrashPoint>,
 }
 
@@ -206,7 +210,7 @@ pub enum CheckpointError {
         /// What failed to line up.
         reason: String,
     },
-    /// An injected [`CrashPoint`](buffalo_memsim::CrashPoint) fired
+    /// An injected [`CrashPoint`] fired
     /// mid-write: the simulated process is dead. Surfacing this as an
     /// error lets tests and the CLI observe the "kill" without aborting
     /// the host process.

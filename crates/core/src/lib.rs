@@ -19,6 +19,11 @@
 //! device-side phases through `buffalo_memsim::CostModel` — the machinery
 //! behind Figures 5, 10–16.
 //!
+//! Both trainers are thin drivers over the shared [`train::Engine`],
+//! which owns the model, optimizer, scheduler, and pipeline/recovery
+//! state; [`serve`] drives the same engine forward-only for deterministic
+//! online inference.
+//!
 //! [`models`] implements GraphSAGE (mean/pool/LSTM aggregators) and GAT
 //! with explicit backward passes over blocks; per-bucket aggregation in
 //! the LSTM path exercises degree bucketing exactly as §II-C describes.
@@ -28,6 +33,7 @@
 pub mod checkpoint;
 pub mod models;
 pub mod multi_gpu;
+pub mod serve;
 pub mod sim;
 pub mod train;
 pub mod verify;

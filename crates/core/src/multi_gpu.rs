@@ -7,6 +7,11 @@
 //! scheduling/generation times: micro-batches are distributed round-robin
 //! across simulated devices, device compute overlaps across GPUs, and the
 //! gradient all-reduce is costed over the PCIe link.
+//!
+//! This is an *analytic* driver over [`crate::sim`]; it holds no model
+//! state. The executing paths — training and serving — share the
+//! long-lived [`crate::train::Engine`] instead, which is where a future
+//! elastic multi-device runner would hang its per-device replicas.
 
 use crate::sim::{simulate_iteration, SimContext, SimReport, Strategy};
 use crate::TrainError;

@@ -1,0 +1,652 @@
+//! Deterministic online inference serving on the shared [`Engine`].
+//!
+//! The serving loop is the engine's second driver (training's epoch loop
+//! is the first): it replays a seeded request trace, coalesces concurrent
+//! per-node queries into micro-batches, and pushes them through the same
+//! Prepare/Execute pipeline and bucket scheduler as training for admission
+//! under the device-memory budget.
+//!
+//! Everything is deterministic by construction, the same discipline as
+//! `FaultPlan`:
+//!
+//! * arrivals come from a seeded SplitMix64 stream (Poisson process with
+//!   exponential inter-arrival times), so the same spec replays the same
+//!   trace;
+//! * service times are *simulated* through the engine's [`CostModel`] —
+//!   no wall clock ever feeds a latency — so throughput and tail
+//!   percentiles are bit-stable across runs;
+//! * the engine is borrowed immutably ([`Engine::infer`] takes `&self`),
+//!   so serving cannot perturb model parameters or Adam moments.
+
+use crate::train::Engine;
+use crate::TrainError;
+use buffalo_graph::datasets::Dataset;
+use buffalo_graph::NodeId;
+use buffalo_memsim::{CostModel, Device};
+use buffalo_sampling::BatchSampler;
+use std::collections::BTreeMap;
+
+/// One inference query: a node whose class is wanted, arriving at a
+/// simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Simulated arrival time, seconds from trace start (non-decreasing
+    /// within a trace).
+    pub arrival: f64,
+    /// The dataset node being queried.
+    pub node: NodeId,
+}
+
+/// A seeded, deterministic request trace.
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    /// The requests, in arrival order.
+    pub requests: Vec<Request>,
+    /// The seed the trace was generated from (also seeds per-batch
+    /// neighborhood sampling during replay).
+    pub seed: u64,
+}
+
+/// SplitMix64 step — the same generator discipline `FaultPlan` uses, so a
+/// seed pins the whole trace.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in (0, 1] from one SplitMix64 output (never 0, so
+/// `-ln(u)` is finite).
+fn unit_open(z: u64) -> f64 {
+    ((z >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+impl RequestTrace {
+    /// Generates `n` requests as a Poisson process with mean arrival rate
+    /// `rate_hz`, querying nodes uniformly in `[0, num_nodes)`.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::InvalidConfig`] when `n == 0`, `rate_hz` is not
+    /// positive/finite, or `num_nodes == 0`.
+    pub fn poisson(
+        n: usize,
+        rate_hz: f64,
+        num_nodes: usize,
+        seed: u64,
+    ) -> Result<Self, TrainError> {
+        if n == 0 {
+            return Err(TrainError::InvalidConfig(
+                "trace needs at least one request".into(),
+            ));
+        }
+        if !(rate_hz.is_finite() && rate_hz > 0.0) {
+            return Err(TrainError::InvalidConfig(format!(
+                "arrival rate must be positive and finite, got {rate_hz}"
+            )));
+        }
+        if num_nodes == 0 {
+            return Err(TrainError::InvalidConfig(
+                "cannot draw queries from an empty node set".into(),
+            ));
+        }
+        let mut state = seed;
+        let mut t = 0.0f64;
+        let mut requests = Vec::with_capacity(n);
+        for _ in 0..n {
+            t += -unit_open(splitmix64(&mut state)).ln() / rate_hz;
+            let node = (splitmix64(&mut state) % num_nodes as u64) as NodeId;
+            requests.push(Request { arrival: t, node });
+        }
+        Ok(RequestTrace { requests, seed })
+    }
+
+    /// Parses a trace spec, `FaultPlan`-style:
+    /// `poisson:n=256,rate=128,seed=7` (every key optional; defaults
+    /// `n=256`, `rate=64`, `seed=7`). `num_nodes` bounds the node draw.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::InvalidConfig`] on an unknown kind/key, an
+    /// unparseable value, or parameters [`Self::poisson`] rejects.
+    pub fn parse(spec: &str, num_nodes: usize) -> Result<Self, TrainError> {
+        let (kind, body) = match spec.split_once(':') {
+            Some((k, b)) => (k.trim(), b.trim()),
+            None => (spec.trim(), ""),
+        };
+        if kind != "poisson" {
+            return Err(TrainError::InvalidConfig(format!(
+                "unknown trace kind `{kind}` (expected `poisson`)"
+            )));
+        }
+        let mut n = 256usize;
+        let mut rate = 64.0f64;
+        let mut seed = 7u64;
+        for kv in body.split(',').filter(|s| !s.trim().is_empty()) {
+            let (key, value) = kv.split_once('=').ok_or_else(|| {
+                TrainError::InvalidConfig(format!("trace clause `{kv}` is not key=value"))
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |k: &str, v: &str| TrainError::InvalidConfig(format!("bad trace {k} `{v}`"));
+            match key {
+                "n" => n = value.parse().map_err(|_| bad(key, value))?,
+                "rate" => rate = value.parse().map_err(|_| bad(key, value))?,
+                "seed" => seed = value.parse().map_err(|_| bad(key, value))?,
+                other => {
+                    return Err(TrainError::InvalidConfig(format!(
+                        "unknown trace key `{other}`"
+                    )))
+                }
+            }
+        }
+        RequestTrace::poisson(n, rate, num_nodes, seed)
+    }
+}
+
+/// How the serving loop coalesces queries into micro-batches.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Maximum requests coalesced into one batch.
+    pub max_batch: usize,
+    /// How long (simulated seconds) a batch stays open for more arrivals
+    /// after its first request, unless it fills first.
+    pub max_wait: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 64,
+            max_wait: 0.05,
+        }
+    }
+}
+
+/// One answered request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServedRequest {
+    /// Position in the trace.
+    pub index: usize,
+    /// The queried node.
+    pub node: NodeId,
+    /// The predicted class.
+    pub class: u32,
+    /// Simulated arrival time, seconds.
+    pub arrival: f64,
+    /// Simulated end-to-end latency, seconds: coalescing wait + queueing
+    /// behind the device + service time.
+    pub latency: f64,
+}
+
+/// Simulated latency distribution over a serve run.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySummary {
+    /// Mean latency, seconds.
+    pub mean: f64,
+    /// Median latency, seconds.
+    pub p50: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99: f64,
+    /// Worst latency, seconds.
+    pub max: f64,
+}
+
+/// Everything a serve run produced: per-request answers plus the
+/// aggregate numbers `BENCH_serving.json` reports.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Every request with its answer and latency, in trace order.
+    pub requests: Vec<ServedRequest>,
+    /// Coalesced batches dispatched.
+    pub num_batches: usize,
+    /// Micro-batches executed across all dispatches (> `num_batches` when
+    /// the bucket scheduler split a batch to fit the budget).
+    pub num_micro_batches: usize,
+    /// Peak simulated device memory over the run, bytes.
+    pub peak_mem_bytes: u64,
+    /// The device-memory budget the run was admitted under, bytes.
+    pub budget_bytes: u64,
+    /// Simulated seconds from first arrival to last completion.
+    pub span_seconds: f64,
+    /// Requests per simulated second.
+    pub throughput_rps: f64,
+    /// Latency distribution.
+    pub latency: LatencySummary,
+    /// FNV-1a digest over every `(index, node, class, latency)` tuple —
+    /// two runs of the same trace must produce the same digest.
+    pub output_digest: u64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl ServeReport {
+    /// Renders the aggregate numbers as a JSON object (the
+    /// `BENCH_serving.json` payload). Per-request answers are not
+    /// included; the digest pins them.
+    pub fn to_json(&self, device_name: &str) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"experiment\": \"serving\",\n",
+                "  \"device\": \"{}\",\n",
+                "  \"budget_bytes\": {},\n",
+                "  \"requests\": {},\n",
+                "  \"batches\": {},\n",
+                "  \"micro_batches\": {},\n",
+                "  \"peak_mem_bytes\": {},\n",
+                "  \"span_seconds\": {},\n",
+                "  \"throughput_rps\": {},\n",
+                "  \"latency_seconds\": {{\n",
+                "    \"mean\": {},\n",
+                "    \"p50\": {},\n",
+                "    \"p95\": {},\n",
+                "    \"p99\": {},\n",
+                "    \"max\": {}\n",
+                "  }},\n",
+                "  \"output_digest\": \"{:016x}\"\n",
+                "}}\n"
+            ),
+            device_name,
+            self.budget_bytes,
+            self.requests.len(),
+            self.num_batches,
+            self.num_micro_batches,
+            self.peak_mem_bytes,
+            self.span_seconds,
+            self.throughput_rps,
+            self.latency.mean,
+            self.latency.p50,
+            self.latency.p95,
+            self.latency.p99,
+            self.latency.max,
+            self.output_digest,
+        )
+    }
+}
+
+/// Replays `trace` against the engine's model under the device budget.
+///
+/// Requests are coalesced in arrival order: a batch opens at its first
+/// request's arrival and dispatches when it fills (`max_batch`) or its
+/// window closes (`max_wait`), whichever is first — but never before the
+/// device finishes the previous batch (one simulated device, in-order
+/// dispatch). Duplicate nodes in a batch are answered by one shared
+/// micro-batch query and fanned back out. Each dispatch samples the
+/// queried nodes' neighborhoods (seeded by `trace.seed` + batch index)
+/// and runs [`Engine::infer`]: the same Prepare/Execute pipeline as
+/// training, with the bucket scheduler splitting any dispatch whose
+/// footprint exceeds the budget.
+///
+/// # Errors
+///
+/// * [`TrainError::InvalidConfig`] for an empty trace, `max_batch == 0`,
+///   a negative/non-finite `max_wait`, or a query for a node outside the
+///   dataset.
+/// * Any [`Engine::infer`] failure (scheduling/OOM under the budget).
+pub fn serve_trace(
+    engine: &Engine,
+    ds: &Dataset,
+    device: &dyn Device,
+    cost: &CostModel,
+    trace: &RequestTrace,
+    cfg: &ServeConfig,
+) -> Result<ServeReport, TrainError> {
+    if trace.requests.is_empty() {
+        return Err(TrainError::InvalidConfig("empty request trace".into()));
+    }
+    if cfg.max_batch == 0 {
+        return Err(TrainError::InvalidConfig(
+            "max_batch must be positive".into(),
+        ));
+    }
+    if !(cfg.max_wait.is_finite() && cfg.max_wait >= 0.0) {
+        return Err(TrainError::InvalidConfig(format!(
+            "max_wait must be finite and non-negative, got {}",
+            cfg.max_wait
+        )));
+    }
+    let num_nodes = ds.graph.num_nodes();
+    if let Some(r) = trace
+        .requests
+        .iter()
+        .find(|r| (r.node as usize) >= num_nodes)
+    {
+        return Err(TrainError::InvalidConfig(format!(
+            "request for node {} outside dataset of {num_nodes} nodes",
+            r.node
+        )));
+    }
+    let sampler = BatchSampler::new(engine.config().fanouts.clone());
+    let mut served: Vec<ServedRequest> = Vec::with_capacity(trace.requests.len());
+    let mut device_free = 0.0f64;
+    let mut peak_mem = 0u64;
+    let mut num_batches = 0usize;
+    let mut num_micro_batches = 0usize;
+    let mut i = 0usize;
+    while i < trace.requests.len() {
+        let open = trace.requests[i].arrival;
+        let close = open + cfg.max_wait;
+        let mut j = i + 1;
+        while j < trace.requests.len()
+            && j - i < cfg.max_batch
+            && trace.requests[j].arrival <= close
+        {
+            j += 1;
+        }
+        let group = &trace.requests[i..j];
+        // Coalesce duplicate nodes: one micro-batch query per unique node,
+        // answers fanned back out below.
+        let mut seeds: Vec<NodeId> = group.iter().map(|r| r.node).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        let batch = sampler.sample(
+            &ds.graph,
+            &seeds,
+            trace.seed.wrapping_add(num_batches as u64),
+        );
+        let stats = engine.infer(ds, &batch, device, cost)?;
+        peak_mem = peak_mem.max(stats.peak_mem_bytes);
+        num_micro_batches += stats.num_micro_batches;
+        let classes: BTreeMap<NodeId, u32> = stats.predictions.iter().copied().collect();
+        // A full batch is ready at its last arrival; an unfilled one waits
+        // out its window. Either way the device must be free first.
+        let ready = if j - i == cfg.max_batch {
+            group[group.len() - 1].arrival
+        } else {
+            close
+        };
+        let dispatch = ready.max(device_free);
+        let done = dispatch + stats.service_seconds;
+        for (k, r) in group.iter().enumerate() {
+            let class = classes.get(&r.node).copied().ok_or_else(|| {
+                TrainError::InvalidConfig(format!(
+                    "inference returned no class for node {}",
+                    r.node
+                ))
+            })?;
+            served.push(ServedRequest {
+                index: i + k,
+                node: r.node,
+                class,
+                arrival: r.arrival,
+                latency: done - r.arrival,
+            });
+        }
+        device_free = done;
+        num_batches += 1;
+        i = j;
+    }
+    let mut latencies: Vec<f64> = served.iter().map(|r| r.latency).collect();
+    latencies.sort_unstable_by(f64::total_cmp);
+    let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    let latency = LatencySummary {
+        mean,
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
+        max: latencies[latencies.len() - 1],
+    };
+    let first_arrival = trace.requests[0].arrival;
+    let span_seconds = device_free - first_arrival;
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            digest ^= b as u64;
+            digest = digest.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for r in &served {
+        eat(r.index as u64);
+        eat(r.node as u64);
+        eat(r.class as u64);
+        eat(r.latency.to_bits());
+    }
+    Ok(ServeReport {
+        num_batches,
+        num_micro_batches,
+        peak_mem_bytes: peak_mem,
+        budget_bytes: device.budget(),
+        span_seconds,
+        throughput_rps: served.len() as f64 / span_seconds,
+        latency,
+        output_digest: digest,
+        requests: served,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{Engine, TrainConfig};
+    use buffalo_graph::datasets::{self, DatasetName};
+    use buffalo_memsim::{AggregatorKind, DeviceMemory, GnnShape};
+    use buffalo_par::Parallelism;
+
+    fn engine_and_ds() -> (Engine, Dataset) {
+        let ds = datasets::load(DatasetName::Cora, 7);
+        let config = TrainConfig {
+            shape: GnnShape::new(
+                ds.spec.feat_dim,
+                16,
+                2,
+                ds.spec.num_classes,
+                AggregatorKind::Mean,
+            ),
+            fanouts: vec![5, 5],
+            lr: 0.01,
+            seed: 99,
+            parallelism: Parallelism::auto(),
+        };
+        (Engine::buffalo(config, 0.24), ds)
+    }
+
+    #[test]
+    fn trace_generation_is_seeded_and_ordered() {
+        let a = RequestTrace::poisson(64, 100.0, 1000, 5).unwrap();
+        let b = RequestTrace::poisson(64, 100.0, 1000, 5).unwrap();
+        let c = RequestTrace::poisson(64, 100.0, 1000, 6).unwrap();
+        assert_eq!(a.requests, b.requests, "same seed, same trace");
+        assert_ne!(a.requests, c.requests, "different seed, different trace");
+        assert!(a.requests.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(a.requests.iter().all(|r| (r.node as usize) < 1000));
+    }
+
+    #[test]
+    fn trace_spec_parses_and_rejects() {
+        let t = RequestTrace::parse("poisson:n=32,rate=10,seed=3", 500).unwrap();
+        assert_eq!(t.requests.len(), 32);
+        assert_eq!(t.seed, 3);
+        assert!(
+            RequestTrace::parse("poisson", 500).is_ok(),
+            "defaults apply"
+        );
+        assert!(RequestTrace::parse("uniform:n=3", 500).is_err());
+        assert!(RequestTrace::parse("poisson:n=zero", 500).is_err());
+        assert!(RequestTrace::parse("poisson:n=4,burst=2", 500).is_err());
+        assert!(RequestTrace::parse("poisson:n=0", 500).is_err());
+        assert!(RequestTrace::parse("poisson:rate=-1", 500).is_err());
+    }
+
+    #[test]
+    fn serve_is_deterministic_across_runs() {
+        let (engine, ds) = engine_and_ds();
+        let device = DeviceMemory::with_gib(24.0);
+        let cost = CostModel::rtx6000();
+        let trace = RequestTrace::poisson(96, 200.0, ds.graph.num_nodes(), 13).unwrap();
+        let cfg = ServeConfig::default();
+        let a = serve_trace(&engine, &ds, &device, &cost, &trace, &cfg).unwrap();
+        let b = serve_trace(&engine, &ds, &device, &cost, &trace, &cfg).unwrap();
+        assert_eq!(a.output_digest, b.output_digest);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.throughput_rps.to_bits(), b.throughput_rps.to_bits());
+        assert_eq!(a.latency.p99.to_bits(), b.latency.p99.to_bits());
+        // Every request answered, in trace order.
+        assert_eq!(a.requests.len(), trace.requests.len());
+        assert!(a.requests.iter().enumerate().all(|(i, r)| r.index == i));
+        assert!(a.latency.p50 <= a.latency.p95);
+        assert!(a.latency.p95 <= a.latency.p99);
+        assert!(a.latency.p99 <= a.latency.max);
+        assert!(a.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn coalescing_respects_max_batch_and_window() {
+        let (engine, ds) = engine_and_ds();
+        let device = DeviceMemory::with_gib(24.0);
+        let cost = CostModel::rtx6000();
+        let trace = RequestTrace::poisson(40, 500.0, ds.graph.num_nodes(), 21).unwrap();
+        let singles = serve_trace(
+            &engine,
+            &ds,
+            &device,
+            &cost,
+            &trace,
+            &ServeConfig {
+                max_batch: 1,
+                max_wait: 10.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(singles.num_batches, 40, "max_batch=1 forbids coalescing");
+        let coalesced = serve_trace(
+            &engine,
+            &ds,
+            &device,
+            &cost,
+            &trace,
+            &ServeConfig {
+                max_batch: 40,
+                max_wait: 10.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(coalesced.num_batches, 1, "wide window coalesces everything");
+        assert!(
+            coalesced.span_seconds < singles.span_seconds,
+            "batching must beat per-request dispatch: {} vs {}",
+            coalesced.span_seconds,
+            singles.span_seconds
+        );
+    }
+
+    #[test]
+    fn serving_respects_a_tight_budget_by_splitting() {
+        let (engine, ds) = engine_and_ds();
+        let cost = CostModel::rtx6000();
+        // Probe the single-batch footprint, then serve under 60% of it.
+        let probe = DeviceMemory::with_gib(24.0);
+        let trace = RequestTrace::poisson(64, 1e6, ds.graph.num_nodes(), 3).unwrap();
+        let cfg = ServeConfig {
+            max_batch: 64,
+            max_wait: 1.0,
+        };
+        let wide = serve_trace(&engine, &ds, &probe, &cost, &trace, &cfg).unwrap();
+        assert_eq!(wide.num_batches, 1);
+        let budget = wide.peak_mem_bytes * 3 / 5;
+        let tight = DeviceMemory::new(budget);
+        let report = serve_trace(&engine, &ds, &tight, &cost, &trace, &cfg).unwrap();
+        assert!(
+            report.num_micro_batches > report.num_batches,
+            "tight budget should split the dispatch"
+        );
+        assert!(report.peak_mem_bytes <= budget);
+        assert_eq!(report.budget_bytes, budget);
+        // Same queries, same model: answers must match the roomy run.
+        let pairs = |r: &ServeReport| {
+            r.requests
+                .iter()
+                .map(|q| (q.node, q.class))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pairs(&wide), pairs(&report));
+    }
+
+    #[test]
+    fn report_json_carries_the_headline_numbers() {
+        let (engine, ds) = engine_and_ds();
+        let device = DeviceMemory::with_gib(24.0);
+        let cost = CostModel::rtx6000();
+        let trace = RequestTrace::poisson(16, 100.0, ds.graph.num_nodes(), 5).unwrap();
+        let report = serve_trace(
+            &engine,
+            &ds,
+            &device,
+            &cost,
+            &trace,
+            &ServeConfig::default(),
+        )
+        .unwrap();
+        let json = report.to_json("rtx6000");
+        assert!(json.contains("\"experiment\": \"serving\""));
+        assert!(json.contains("\"throughput_rps\""));
+        assert!(json.contains("\"p99\""));
+        assert!(json.contains(&format!("{:016x}", report.output_digest)));
+        assert!(json.contains(&format!("\"budget_bytes\": {}", device.budget())));
+    }
+
+    #[test]
+    fn bad_configs_are_rejected_not_panicked() {
+        let (engine, ds) = engine_and_ds();
+        let device = DeviceMemory::with_gib(24.0);
+        let cost = CostModel::rtx6000();
+        let trace = RequestTrace::poisson(4, 10.0, ds.graph.num_nodes(), 1).unwrap();
+        let empty = RequestTrace {
+            requests: Vec::new(),
+            seed: 0,
+        };
+        assert!(matches!(
+            serve_trace(
+                &engine,
+                &ds,
+                &device,
+                &cost,
+                &empty,
+                &ServeConfig::default()
+            ),
+            Err(TrainError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            serve_trace(
+                &engine,
+                &ds,
+                &device,
+                &cost,
+                &trace,
+                &ServeConfig {
+                    max_batch: 0,
+                    max_wait: 0.1
+                }
+            ),
+            Err(TrainError::InvalidConfig(_))
+        ));
+        let alien = RequestTrace {
+            requests: vec![Request {
+                arrival: 0.0,
+                node: u32::MAX,
+            }],
+            seed: 0,
+        };
+        assert!(matches!(
+            serve_trace(
+                &engine,
+                &ds,
+                &device,
+                &cost,
+                &alien,
+                &ServeConfig::default()
+            ),
+            Err(TrainError::InvalidConfig(_))
+        ));
+    }
+}

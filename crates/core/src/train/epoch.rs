@@ -16,8 +16,10 @@ use buffalo_sampling::{Batch, BatchSampler, SeedBatches};
 use buffalo_tensor::softmax_cross_entropy;
 
 /// Anything that can train one iteration on a sampled batch — implemented
-/// by both `FullBatchTrainer` (Algorithm 1) and `BuffaloTrainer`
-/// (Algorithm 2) so epoch drivers and experiments can swap them freely.
+/// by the shared [`Engine`](crate::train::Engine) and by the
+/// `FullBatchTrainer` (Algorithm 1) / `BuffaloTrainer` (Algorithm 2)
+/// drivers that wrap it, so epoch drivers and experiments can swap them
+/// freely.
 pub trait IterationTrainer {
     /// Trains one iteration on `batch`.
     ///
@@ -57,6 +59,41 @@ pub trait IterationTrainer {
     }
 }
 
+/// The canonical implementation: the engine itself trains iterations and
+/// snapshots its own state. The trainer impls below only delegate here
+/// through their wrapped engine.
+impl IterationTrainer for super::Engine {
+    fn train_iteration(
+        &mut self,
+        ds: &Dataset,
+        batch: &Batch,
+        device: &dyn Device,
+        cost: &CostModel,
+    ) -> Result<IterationStats, TrainError> {
+        super::Engine::train_iteration(self, ds, batch, device, cost)
+    }
+
+    fn model(&self) -> &GnnModel {
+        super::Engine::model(self)
+    }
+
+    fn train_config(&self) -> &TrainConfig {
+        self.config()
+    }
+
+    fn capture_state(&mut self) -> TrainerState {
+        super::Engine::capture_state(self)
+    }
+
+    fn restore_state(&mut self, state: &TrainerState) -> Result<(), CheckpointError> {
+        super::Engine::restore_state(self, state)
+    }
+
+    fn force_headroom(&mut self, multiplier: f64) {
+        super::Engine::force_headroom(self, multiplier);
+    }
+}
+
 impl IterationTrainer for super::FullBatchTrainer {
     fn train_iteration(
         &mut self,
@@ -65,11 +102,11 @@ impl IterationTrainer for super::FullBatchTrainer {
         device: &dyn Device,
         cost: &CostModel,
     ) -> Result<IterationStats, TrainError> {
-        super::FullBatchTrainer::train_iteration(self, ds, batch, device, cost)
+        self.engine_mut().train_iteration(ds, batch, device, cost)
     }
 
     fn model(&self) -> &GnnModel {
-        &self.model
+        self.engine().model()
     }
 
     fn train_config(&self) -> &TrainConfig {
@@ -77,11 +114,15 @@ impl IterationTrainer for super::FullBatchTrainer {
     }
 
     fn capture_state(&mut self) -> TrainerState {
-        super::FullBatchTrainer::capture_state(self)
+        self.engine_mut().capture_state()
     }
 
     fn restore_state(&mut self, state: &TrainerState) -> Result<(), CheckpointError> {
-        super::FullBatchTrainer::restore_state(self, state)
+        self.engine_mut().restore_state(state)
+    }
+
+    fn force_headroom(&mut self, multiplier: f64) {
+        self.engine_mut().force_headroom(multiplier);
     }
 }
 
@@ -93,11 +134,11 @@ impl IterationTrainer for super::BuffaloTrainer {
         device: &dyn Device,
         cost: &CostModel,
     ) -> Result<IterationStats, TrainError> {
-        super::BuffaloTrainer::train_iteration(self, ds, batch, device, cost)
+        self.engine_mut().train_iteration(ds, batch, device, cost)
     }
 
     fn model(&self) -> &GnnModel {
-        &self.model
+        self.engine().model()
     }
 
     fn train_config(&self) -> &TrainConfig {
@@ -105,15 +146,15 @@ impl IterationTrainer for super::BuffaloTrainer {
     }
 
     fn capture_state(&mut self) -> TrainerState {
-        super::BuffaloTrainer::capture_state(self)
+        self.engine_mut().capture_state()
     }
 
     fn restore_state(&mut self, state: &TrainerState) -> Result<(), CheckpointError> {
-        super::BuffaloTrainer::restore_state(self, state)
+        self.engine_mut().restore_state(state)
     }
 
     fn force_headroom(&mut self, multiplier: f64) {
-        super::BuffaloTrainer::force_headroom(self, multiplier);
+        self.engine_mut().force_headroom(multiplier);
     }
 }
 

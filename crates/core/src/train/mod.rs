@@ -1,8 +1,14 @@
 //! Trainers: Algorithm 1 (whole-batch, DGL-style) and Algorithm 2
 //! (Buffalo micro-batch training with gradient accumulation), plus an
-//! epoch-level driver with held-out evaluation in [`epoch`].
+//! epoch-level driver with held-out evaluation ([`run_epochs`]).
 //!
-//! Both trainers run on the staged [`pipeline`] engine: a CPU **Prepare**
+//! All long-lived state — the model with its Adam moments, the bucket
+//! scheduler, the pipeline/recovery configuration — lives in the shared
+//! [`Engine`]; `FullBatchTrainer` and `BuffaloTrainer` are thin *drivers*
+//! over it, kept as the stable public API. The serving loop in
+//! [`serve`](crate::serve) is another driver over the same engine.
+//!
+//! Every driver runs on the staged pipeline: a CPU **Prepare**
 //! stage (seed restriction, block generation, feature/label gather) and an
 //! in-order **Execute** stage (allocate, forward/backward, free) against
 //! the simulated device. With [`PipelineConfig::overlapped`], preparation
@@ -10,10 +16,12 @@
 //! executes — same math, same gradient-accumulation order, bit-identical
 //! losses, smaller iteration makespan.
 
+mod engine;
 mod epoch;
-mod pipeline;
+pub(crate) mod pipeline;
 pub(crate) mod recovery;
 
+pub use engine::{Engine, InferenceStats};
 pub use epoch::{
     evaluate, run_epochs, run_epochs_checkpointed, EpochConfig, EpochStats, IterationTrainer,
     TrainRun,
@@ -21,16 +29,14 @@ pub use epoch::{
 pub use pipeline::PipelineConfig;
 pub use recovery::{HeadroomCalibrator, RecoveryAction, RecoveryEvent, RecoveryPolicy};
 
-use crate::checkpoint::{CheckpointError, ParamState, TrainerState};
+use crate::checkpoint::{CheckpointError, TrainerState};
 use crate::models::GnnModel;
 use crate::TrainError;
-use buffalo_bucketing::BuffaloScheduler;
 use buffalo_graph::datasets::Dataset;
 use buffalo_memsim::{CostModel, Device, GnnShape, StageTimings};
 use buffalo_par::Parallelism;
 use buffalo_sampling::Batch;
-use buffalo_tensor::{Adam, Optimizer, Tensor};
-use pipeline::{run_pipeline, MicroSpec, PipelineRequest};
+use buffalo_tensor::Tensor;
 
 /// Configuration shared by both trainers.
 #[derive(Debug, Clone)]
@@ -67,60 +73,6 @@ pub struct IterationStats {
     pub recovery: Vec<RecoveryEvent>,
 }
 
-/// Copies every parameter's value and Adam moments out of `model`, in the
-/// model's canonical parameter order. Gradients are not captured: state is
-/// taken between iterations, where they are dead.
-fn capture_params(model: &mut GnnModel) -> Vec<ParamState> {
-    model
-        .params_mut()
-        .iter()
-        .map(|p| ParamState {
-            rows: p.value.rows() as u32,
-            cols: p.value.cols() as u32,
-            value: p.value.data().to_vec(),
-            m: p.m.data().to_vec(),
-            v: p.v.data().to_vec(),
-        })
-        .collect()
-}
-
-/// Writes captured parameter state back into `model` bit-exactly.
-///
-/// # Errors
-///
-/// [`CheckpointError::StateMismatch`] if the parameter count or any
-/// tensor shape differs — the snapshot belongs to a different model.
-fn restore_params(model: &mut GnnModel, params: &[ParamState]) -> Result<(), CheckpointError> {
-    let mut live = model.params_mut();
-    if live.len() != params.len() {
-        return Err(CheckpointError::StateMismatch {
-            reason: format!(
-                "snapshot has {} parameters, model has {}",
-                params.len(),
-                live.len()
-            ),
-        });
-    }
-    for (i, (p, s)) in live.iter_mut().zip(params).enumerate() {
-        if p.value.rows() != s.rows as usize || p.value.cols() != s.cols as usize {
-            return Err(CheckpointError::StateMismatch {
-                reason: format!(
-                    "parameter {i} is {}x{}, snapshot has {}x{}",
-                    p.value.rows(),
-                    p.value.cols(),
-                    s.rows,
-                    s.cols
-                ),
-            });
-        }
-        p.value.data_mut().copy_from_slice(&s.value);
-        p.m.data_mut().copy_from_slice(&s.m);
-        p.v.data_mut().copy_from_slice(&s.v);
-        p.zero_grad();
-    }
-    Ok(())
-}
-
 /// Gathers the feature tensor for a (micro-)batch's innermost sources.
 pub fn gather_features(ds: &Dataset, batch: &Batch, src_locals: &[u32]) -> Tensor {
     let dim = ds.spec.feat_dim;
@@ -145,14 +97,12 @@ pub fn gather_labels(ds: &Dataset, batch: &Batch, dst_locals: &[u32]) -> Vec<u32
 /// batch — the single-GPU strategy of DGL/PyG. Fails with
 /// [`TrainError::Oom`] when the batch footprint exceeds the device budget,
 /// reproducing every "OOM" cell in the paper's tables.
+///
+/// A thin driver over a whole-batch [`Engine`]; see
+/// [`Engine::full_batch`].
 #[derive(Debug)]
 pub struct FullBatchTrainer {
-    /// The model being trained.
-    pub model: GnnModel,
-    config: TrainConfig,
-    opt: Adam,
-    pipeline: PipelineConfig,
-    recovery: RecoveryPolicy,
+    engine: Engine,
 }
 
 impl FullBatchTrainer {
@@ -161,52 +111,63 @@ impl FullBatchTrainer {
     /// recovery is disabled by default: a whole batch that does not fit
     /// fails with [`TrainError::Oom`], reproducing the paper's OOM cells.
     pub fn new(config: TrainConfig) -> Self {
-        let model = GnnModel::for_shape(&config.shape, config.seed);
-        let opt = Adam::new(config.lr);
         FullBatchTrainer {
-            model,
-            config,
-            opt,
-            pipeline: PipelineConfig::serial(),
-            recovery: RecoveryPolicy::disabled(),
+            engine: Engine::full_batch(config),
         }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The underlying engine, mutably.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Consumes the driver, returning its engine — e.g. to hand a trained
+    /// model to the serving loop.
+    pub fn into_engine(self) -> Engine {
+        self.engine
+    }
+
+    /// The model being trained.
+    pub fn model(&self) -> &GnnModel {
+        self.engine.model()
     }
 
     /// The training configuration.
     pub fn config(&self) -> &TrainConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// Sets the pipeline configuration.
     pub fn set_pipeline(&mut self, pipeline: PipelineConfig) {
-        self.pipeline = pipeline;
+        self.engine.set_pipeline(pipeline);
     }
 
     /// Builder-style [`set_pipeline`](Self::set_pipeline).
     pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
-        self.pipeline = pipeline;
+        self.engine.set_pipeline(pipeline);
         self
     }
 
     /// Sets the OOM recovery policy. The whole-batch path cannot
     /// re-split, so only the retry rungs apply.
     pub fn set_recovery(&mut self, recovery: RecoveryPolicy) {
-        self.recovery = recovery;
+        self.engine.set_recovery(recovery);
     }
 
     /// Builder-style [`set_recovery`](Self::set_recovery).
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
-        self.recovery = recovery;
+        self.engine.set_recovery(recovery);
         self
     }
 
     /// Captures model + optimizer state for a checkpoint.
     pub fn capture_state(&mut self) -> TrainerState {
-        TrainerState {
-            adam_t: self.opt.t(),
-            headroom_multiplier: 1.0,
-            params: capture_params(&mut self.model),
-        }
+        self.engine.capture_state()
     }
 
     /// Restores captured state bit-exactly.
@@ -216,9 +177,7 @@ impl FullBatchTrainer {
     /// [`CheckpointError::StateMismatch`] if the snapshot's parameters do
     /// not fit this model.
     pub fn restore_state(&mut self, state: &TrainerState) -> Result<(), CheckpointError> {
-        restore_params(&mut self.model, &state.params)?;
-        self.opt.set_t(state.adam_t);
-        Ok(())
+        self.engine.restore_state(state)
     }
 
     /// Trains one iteration on `batch`.
@@ -233,37 +192,7 @@ impl FullBatchTrainer {
         device: &dyn Device,
         cost: &CostModel,
     ) -> Result<IterationStats, TrainError> {
-        self.config.parallelism.install();
-        device.free_all();
-        device.reset_peak();
-        self.model.zero_grad();
-        let outcome = run_pipeline(
-            &mut self.model,
-            PipelineRequest {
-                ds,
-                batch,
-                specs: &[MicroSpec::Whole],
-                estimates: &[],
-                shape: &self.config.shape,
-                grad_divisor: batch.num_seeds,
-                device,
-                cost,
-                pipeline: self.pipeline,
-                policy: &self.recovery,
-                scheduler: None,
-                calibrator: None,
-                schedule_seconds: 0.0,
-            },
-        )?;
-        self.opt.step(&mut self.model.params_mut());
-        Ok(IterationStats {
-            loss: (outcome.loss_sum / batch.num_seeds as f64) as f32,
-            accuracy: outcome.correct as f32 / batch.num_seeds as f32,
-            num_micro_batches: outcome.micro_batches,
-            peak_mem_bytes: device.peak(),
-            timings: outcome.timings,
-            recovery: outcome.recovery,
-        })
+        self.engine.train_iteration(ds, batch, device, cost)
     }
 }
 
@@ -272,16 +201,11 @@ impl FullBatchTrainer {
 /// gradients accumulate; the optimizer steps once per iteration, so the
 /// computation is mathematically identical to whole-batch training
 /// (§IV-B).
+///
+/// A thin driver over a scheduled [`Engine`]; see [`Engine::buffalo`].
 #[derive(Debug)]
 pub struct BuffaloTrainer {
-    /// The model being trained.
-    pub model: GnnModel,
-    config: TrainConfig,
-    opt: Adam,
-    scheduler: BuffaloScheduler,
-    pipeline: PipelineConfig,
-    recovery: RecoveryPolicy,
-    calibrator: HeadroomCalibrator,
+    engine: Engine,
 }
 
 impl BuffaloTrainer {
@@ -292,68 +216,74 @@ impl BuffaloTrainer {
     /// [`with_recovery`](Self::with_recovery) (disabled by default, so an
     /// execution-time OOM is terminal exactly as before).
     pub fn new(config: TrainConfig, clustering: f64) -> Self {
-        let model = GnnModel::for_shape(&config.shape, config.seed);
-        let opt = Adam::new(config.lr);
-        let scheduler =
-            BuffaloScheduler::new(config.shape.clone(), config.fanouts.clone(), clustering);
         BuffaloTrainer {
-            model,
-            config,
-            opt,
-            scheduler,
-            pipeline: PipelineConfig::serial(),
-            recovery: RecoveryPolicy::disabled(),
-            calibrator: HeadroomCalibrator::default(),
+            engine: Engine::buffalo(config, clustering),
         }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The underlying engine, mutably.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Consumes the driver, returning its engine — e.g. to hand a trained
+    /// model to the serving loop.
+    pub fn into_engine(self) -> Engine {
+        self.engine
+    }
+
+    /// The model being trained.
+    pub fn model(&self) -> &GnnModel {
+        self.engine.model()
     }
 
     /// The training configuration.
     pub fn config(&self) -> &TrainConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// The active pipeline configuration.
     pub fn pipeline(&self) -> PipelineConfig {
-        self.pipeline
+        self.engine.pipeline()
     }
 
     /// Sets the pipeline configuration.
     pub fn set_pipeline(&mut self, pipeline: PipelineConfig) {
-        self.pipeline = pipeline;
+        self.engine.set_pipeline(pipeline);
     }
 
     /// Builder-style [`set_pipeline`](Self::set_pipeline).
     pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
-        self.pipeline = pipeline;
+        self.engine.set_pipeline(pipeline);
         self
     }
 
     /// Sets the OOM recovery policy and re-seeds the headroom calibrator
     /// from its `headroom` floor.
     pub fn set_recovery(&mut self, recovery: RecoveryPolicy) {
-        self.calibrator = HeadroomCalibrator::new(recovery.headroom);
-        self.recovery = recovery;
+        self.engine.set_recovery(recovery);
     }
 
     /// Builder-style [`set_recovery`](Self::set_recovery).
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
-        self.set_recovery(recovery);
+        self.engine.set_recovery(recovery);
         self
     }
 
     /// The calibrator's current headroom multiplier: scheduling
     /// constraints are `budget / multiplier`.
     pub fn headroom_multiplier(&self) -> f64 {
-        self.calibrator.multiplier()
+        self.engine.headroom_multiplier()
     }
 
     /// Captures model, optimizer, and calibrator state for a checkpoint.
     pub fn capture_state(&mut self) -> TrainerState {
-        TrainerState {
-            adam_t: self.opt.t(),
-            headroom_multiplier: self.calibrator.multiplier(),
-            params: capture_params(&mut self.model),
-        }
+        self.engine.capture_state()
     }
 
     /// Restores captured state bit-exactly, including the calibrator's
@@ -364,10 +294,7 @@ impl BuffaloTrainer {
     /// [`CheckpointError::StateMismatch`] if the snapshot's parameters do
     /// not fit this model.
     pub fn restore_state(&mut self, state: &TrainerState) -> Result<(), CheckpointError> {
-        restore_params(&mut self.model, &state.params)?;
-        self.opt.set_t(state.adam_t);
-        self.calibrator.set_multiplier(state.headroom_multiplier);
-        Ok(())
+        self.engine.restore_state(state)
     }
 
     /// Ensures the headroom multiplier is at least `multiplier` — the
@@ -375,9 +302,7 @@ impl BuffaloTrainer {
     /// schedules more conservatively than the last, instead of replaying
     /// the same doomed plan.
     pub fn force_headroom(&mut self, multiplier: f64) {
-        if multiplier > self.calibrator.multiplier() {
-            self.calibrator.set_multiplier(multiplier);
-        }
+        self.engine.force_headroom(multiplier);
     }
 
     /// Trains one iteration on `batch` under the device budget.
@@ -396,55 +321,7 @@ impl BuffaloTrainer {
         device: &dyn Device,
         cost: &CostModel,
     ) -> Result<IterationStats, TrainError> {
-        self.config.parallelism.install();
-        device.free_all();
-        device.reset_peak();
-        // The calibrated constraint: `budget / multiplier`, which is the
-        // plain budget until the calibrator has seen an under-prediction.
-        let constraint = self.calibrator.constrain(device.budget());
-        let plan = self
-            .scheduler
-            .schedule(&batch.graph, batch.num_seeds, constraint)?;
-        self.model.zero_grad();
-        let total = batch.num_seeds;
-        let mut specs: Vec<MicroSpec<'_>> = Vec::with_capacity(plan.groups.len());
-        let mut estimates: Vec<u64> = Vec::with_capacity(plan.groups.len());
-        for (i, g) in plan.groups.iter().enumerate() {
-            if g.is_empty() {
-                continue;
-            }
-            specs.push(MicroSpec::Seeds(g));
-            estimates.push(plan.group_estimates.get(i).copied().unwrap_or(0));
-        }
-        let outcome = run_pipeline(
-            &mut self.model,
-            PipelineRequest {
-                ds,
-                batch,
-                specs: &specs,
-                estimates: &estimates,
-                shape: &self.config.shape,
-                grad_divisor: total,
-                device,
-                cost,
-                pipeline: self.pipeline,
-                policy: &self.recovery,
-                scheduler: self.recovery.enabled.then_some(&self.scheduler),
-                calibrator: self.recovery.enabled.then_some(&mut self.calibrator),
-                schedule_seconds: plan.scheduling_time.as_secs_f64(),
-            },
-        )?;
-        // One optimizer step after all partial gradients accumulated
-        // (Algorithm 2 line 13).
-        self.opt.step(&mut self.model.params_mut());
-        Ok(IterationStats {
-            loss: (outcome.loss_sum / total as f64) as f32,
-            accuracy: outcome.correct as f32 / total as f32,
-            num_micro_batches: outcome.micro_batches,
-            peak_mem_bytes: device.peak(),
-            timings: outcome.timings,
-            recovery: outcome.recovery,
-        })
+        self.engine.train_iteration(ds, batch, device, cost)
     }
 }
 
@@ -531,7 +408,7 @@ mod tests {
         let mut buffalo = BuffaloTrainer::new(config, 0.24);
         // Force Buffalo into multiple micro-batches with a small budget
         // that the full batch would not fit.
-        let small = DeviceMemory::new(splitting_budget(&batch, &full.config.shape));
+        let small = DeviceMemory::new(splitting_budget(&batch, &full.config().shape));
         for i in 0..5 {
             let sf = full.train_iteration(&ds, &batch, &big, &cost).unwrap();
             let sb = buffalo.train_iteration(&ds, &batch, &small, &cost).unwrap();

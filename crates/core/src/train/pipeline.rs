@@ -158,6 +158,15 @@ fn prepare_one(
         .map(|&l| ds.label(micro.global_ids[l as usize]))
         .collect();
     prepared.set_labels(labels, t2.elapsed().as_secs_f64());
+    // Dataset-global output ids: training ignores them, but inference
+    // needs them to key predictions (the restricted micro-batch and its
+    // id map are dropped when this function returns).
+    let out_globals: Vec<NodeId> = prepared
+        .output_dsts()
+        .iter()
+        .map(|&l| micro.global_ids[l as usize])
+        .collect();
+    prepared.set_output_globals(out_globals);
     (restrict_seconds, prepared)
 }
 
@@ -598,4 +607,132 @@ pub(crate) fn run_pipeline(
         timings: st.timings,
         recovery: st.events,
     })
+}
+
+/// Everything one inference pass needs besides the model: the data
+/// source, the micro-batch work list, and the execution environment.
+/// Forward-only — no gradient divisor, no recovery policy (an OOM
+/// propagates so the serving driver can account the rejection).
+pub(crate) struct InferRequest<'a> {
+    /// The dataset supplying features (labels are gathered but unused).
+    pub ds: &'a Dataset,
+    /// The sampled batch the specs refer into.
+    pub batch: &'a Batch,
+    /// One entry per micro-batch, in execution order.
+    pub specs: &'a [MicroSpec<'a>],
+    /// Model shape (for memory/cost accounting).
+    pub shape: &'a GnnShape,
+    /// The simulated device to allocate on.
+    pub device: &'a dyn Device,
+    /// The device cost model.
+    pub cost: &'a CostModel,
+    /// Staging mode (overlap prepares exactly as in training).
+    pub pipeline: PipelineConfig,
+}
+
+/// What one inference pass produced.
+#[derive(Debug, Clone)]
+pub(crate) struct InferOutcome {
+    /// `(dataset node id, predicted class)` per output node, in execution
+    /// order.
+    pub predictions: Vec<(NodeId, u32)>,
+    /// Micro-batches executed.
+    pub micro_batches: usize,
+    /// Simulated device seconds (forward compute + transfer) summed over
+    /// the micro-batches. Derived entirely from the [`CostModel`], never
+    /// the wall clock, so it is bit-stable across runs and hosts.
+    pub device_seconds: f64,
+}
+
+/// Deterministic argmax: the first class whose logit is strictly greater
+/// than every earlier one (ties break toward the lower class id).
+fn argmax_row(row: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (j, &x) in row.iter().enumerate().skip(1) {
+        if x > row[best] {
+            best = j;
+        }
+    }
+    best as u32
+}
+
+/// Executes one prepared micro-batch forward-only: allocate, forward,
+/// argmax, release.
+fn infer_one(
+    model: &GnnModel,
+    req: &InferRequest<'_>,
+    residency: &mut Residency<'_>,
+    out: &mut InferOutcome,
+    prepared: PreparedBlocks,
+) -> Result<(), TrainError> {
+    let globals = prepared.output_globals().to_vec();
+    let (blocks, features, feat_dim, _labels) = prepared.into_parts();
+    // Admission uses the same footprint the bucket scheduler's estimator
+    // plans against, keeping serving consistent with training admission.
+    let bytes = measure::training_memory(&blocks, req.shape).total();
+    residency.acquire(bytes)?;
+    let features = Tensor::from_vec(features.len() / feat_dim, feat_dim, features);
+    let (logits, _cache) = model.forward(&blocks, &features);
+    let classes = logits.cols();
+    let data = logits.data();
+    for (i, &node) in globals.iter().enumerate() {
+        out.predictions
+            .push((node, argmax_row(&data[i * classes..(i + 1) * classes])));
+    }
+    residency.release_after_step();
+    let compute = req.cost.inference_seconds(&blocks, req.shape);
+    let transfer = req
+        .cost
+        .transfer_seconds(measure::transfer_bytes(&blocks, req.shape) as f64);
+    out.device_seconds += compute + transfer;
+    out.micro_batches += 1;
+    Ok(())
+}
+
+/// Runs a forward-only pass over the request's micro-batches through the
+/// same Prepare/Execute pipeline as training: CPU preparation (optionally
+/// overlapped on a worker thread), in-order device execution with the same
+/// residency policy. Takes `&GnnModel` — the pass cannot touch parameters
+/// or optimizer state by construction.
+pub(crate) fn run_inference(
+    model: &GnnModel,
+    req: InferRequest<'_>,
+) -> Result<InferOutcome, TrainError> {
+    let depth = req.pipeline.effective_depth().min(req.specs.len().max(1));
+    let num_layers = req.shape.num_layers;
+    let mut residency = Residency::new(req.device, depth > 1);
+    let mut out = InferOutcome {
+        predictions: Vec::new(),
+        micro_batches: 0,
+        device_seconds: 0.0,
+    };
+    let result: Result<(), TrainError> = if depth <= 1 {
+        (|| {
+            for &spec in req.specs {
+                let (_restrict_s, prepared) = prepare_one(req.ds, req.batch, spec, num_layers);
+                infer_one(model, &req, &mut residency, &mut out, prepared)?;
+            }
+            Ok(())
+        })()
+    } else {
+        std::thread::scope(|s| {
+            let (tx, rx) = mpsc::sync_channel::<PreparedBlocks>(depth - 1);
+            let (ds, batch, specs) = (req.ds, req.batch, req.specs);
+            s.spawn(move || {
+                for &spec in specs {
+                    let (_restrict_s, prepared) = prepare_one(ds, batch, spec, num_layers);
+                    if tx.send(prepared).is_err() {
+                        break;
+                    }
+                }
+            });
+            for prepared in rx {
+                infer_one(model, &req, &mut residency, &mut out, prepared)?;
+            }
+            Ok(())
+        })
+    };
+    result?;
+    residency.finish();
+    Ok(out)
 }

@@ -89,6 +89,20 @@ impl CostModel {
             + 2.0 * agg_bytes / self.device_bw
             + kernels * self.kernel_overhead
     }
+
+    /// Simulated seconds for one *inference step* (forward only) over the
+    /// given blocks: 1× the forward FLOPs and aggregation traffic, and
+    /// half the per-layer kernels of a training step.
+    pub fn inference_seconds(&self, blocks: &[Block], shape: &GnnShape) -> f64 {
+        let fwd = training_forward_flops(blocks, shape);
+        let agg_bytes = aggregation_bytes(blocks, shape);
+        // Per-layer kernels: aggregation + dense transform, forward only.
+        let kernels = (blocks.len() * 2) as f64;
+        self.micro_batch_overhead
+            + fwd / (self.flops_per_sec * self.efficiency)
+            + agg_bytes / self.device_bw
+            + kernels * self.kernel_overhead
+    }
 }
 
 /// Forward-pass FLOPs for one step over `blocks` with `shape`.
@@ -156,6 +170,14 @@ mod tests {
         let lstm = GnnShape::new(64, 64, 1, 8, AggregatorKind::Lstm);
         let m = CostModel::rtx6000();
         assert!(m.training_seconds(&blocks, &lstm) > m.training_seconds(&blocks, &mean));
+    }
+
+    #[test]
+    fn inference_is_cheaper_than_training() {
+        let blocks = toy_blocks();
+        let shape = GnnShape::new(8, 8, 1, 4, AggregatorKind::Mean);
+        let m = CostModel::rtx6000();
+        assert!(m.inference_seconds(&blocks, &shape) < m.training_seconds(&blocks, &shape));
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl Latch {
 /// A persistent worker pool executing borrowed closures.
 ///
 /// Workers are spawned lazily, grow on demand up to the requested
-/// concurrency (capped at [`MAX_WORKERS`]), and persist across calls — no
+/// concurrency (capped at `MAX_WORKERS`), and persist across calls — no
 /// per-kernel thread spawns. [`run`](Self::run) gives the scoped-thread
 /// guarantee: it returns only after every submitted task has finished, so
 /// tasks may borrow data owned by the caller's stack frame.

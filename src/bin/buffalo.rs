@@ -5,6 +5,7 @@
 //! buffalo generate <dataset> -o <file>     save a synthetic dataset graph
 //! buffalo schedule <dataset> [options]     run the Buffalo scheduler
 //! buffalo train <dataset> [options]        train for real under a budget
+//! buffalo serve <dataset> [options]        replay an inference trace
 //! buffalo compare <dataset> [options]      one iteration of every strategy
 //! ```
 //!
@@ -14,9 +15,10 @@
 
 use buffalo::bucketing::BuffaloScheduler;
 use buffalo::core::checkpoint::CheckpointOptions;
+use buffalo::core::serve::{serve_trace, RequestTrace, ServeConfig};
 use buffalo::core::sim::{simulate_iteration, SimContext, Strategy};
 use buffalo::core::train::{
-    run_epochs_checkpointed, BuffaloTrainer, EpochConfig, PipelineConfig, RecoveryPolicy,
+    run_epochs_checkpointed, Engine, EpochConfig, PipelineConfig, RecoveryPolicy,
 };
 use buffalo::graph::datasets::{self, DatasetName};
 use buffalo::graph::{io, stats, CsrGraph, NodeId};
@@ -55,6 +57,10 @@ const USAGE: &str = "usage:
                      transient:p=0.1,seed=7   transient:nth=5
                      shrink:at=10,factor=0.5,restore=20
                      crash:at=3,bytes=64,torn=1   (needs --checkpoint-dir)
+  buffalo serve    <dataset> [--budget 24G] [--trace poisson:n=256,rate=64,seed=7]
+                   [--max-batch N] [--max-wait-ms F] [--warmup-iters N]
+                   [--hidden H] [--agg ...] [--fanouts 5,10]
+                   [--pipeline on|off] [--json <file>] [--quiet-requests 1]
   buffalo compare  <dataset> [--budget 24G] [--seeds N] [--hidden H] [--k K]";
 
 /// Parsed `--key value` options with positional arguments.
@@ -165,6 +171,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(target, &opts),
         "schedule" => cmd_schedule(target, &opts),
         "train" => cmd_train(target, &opts),
+        "serve" => cmd_serve(target, &opts),
         "compare" => cmd_compare(target, &opts),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -354,7 +361,9 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
         }
     };
     let cost = CostModel::rtx6000();
-    let mut trainer = BuffaloTrainer::new(config, s.clustering).with_pipeline(pipeline);
+    // The CLI drives the engine directly: the same object type the serve
+    // command uses, so a future `train --then-serve` is one borrow away.
+    let mut trainer = Engine::buffalo(config, s.clustering).with_pipeline(pipeline);
     if recovery_on {
         trainer.set_recovery(RecoveryPolicy {
             enabled: true,
@@ -438,6 +447,93 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
             "checkpoints: {} written, {} rollbacks",
             run.snapshots_written, run.rollbacks
         );
+    }
+    Ok(())
+}
+
+fn cmd_serve(target: &str, opts: &Options) -> Result<(), String> {
+    let mut o = Options {
+        positional: opts.positional.clone(),
+        flags: opts.flags.clone(),
+    };
+    // Like `train`, serving runs real dense math on the CPU: default to a
+    // light shape.
+    o.flags
+        .entry("hidden".into())
+        .or_insert_with(|| "32".into());
+    o.flags.entry("agg".into()).or_insert_with(|| "mean".into());
+    let s = setup(target, &o, "5,10")?;
+    let pipeline = parse_pipeline(&o.get::<String>("pipeline", "off".into())?)?;
+    let warmup_iters: usize = o.get("warmup-iters", 3)?;
+    let max_batch: usize = o.get("max-batch", 64)?;
+    let max_wait_ms: f64 = o.get("max-wait-ms", 50.0)?;
+    let quiet: u32 = o.get("quiet-requests", 0)?;
+    let trace_spec = o.get::<String>("trace", "poisson:n=256,rate=64,seed=7".into())?;
+    let trace =
+        RequestTrace::parse(&trace_spec, s.ds.graph.num_nodes()).map_err(|e| e.to_string())?;
+    let config = buffalo::core::train::TrainConfig {
+        shape: s.shape.clone(),
+        fanouts: s.fanouts.clone(),
+        lr: o.get("lr", 0.01)?,
+        seed: 17,
+        parallelism: buffalo::par::Parallelism::auto(),
+    };
+    let device = DeviceMemory::new(s.budget);
+    let cost = CostModel::rtx6000();
+    let mut engine = Engine::buffalo(config, s.clustering).with_pipeline(pipeline);
+    // Warm the model up on the engine's training path — the whole point of
+    // the shared engine is that the serving borrow starts where training
+    // left off.
+    for _ in 0..warmup_iters {
+        engine
+            .train_iteration(&s.ds, &s.batch, &device, &cost)
+            .map_err(|e| e.to_string())?;
+    }
+    let cfg = ServeConfig {
+        max_batch,
+        max_wait: max_wait_ms / 1e3,
+    };
+    let report =
+        serve_trace(&engine, &s.ds, &device, &cost, &trace, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "served {} requests in {} batches ({} micro-batches) under {:.2} GB budget",
+        report.requests.len(),
+        report.num_batches,
+        report.num_micro_batches,
+        report.budget_bytes as f64 / 1e9
+    );
+    println!(
+        "peak mem {:.2} GB, span {:.3}s, throughput {:.1} req/s",
+        report.peak_mem_bytes as f64 / 1e9,
+        report.span_seconds,
+        report.throughput_rps
+    );
+    let l = &report.latency;
+    println!(
+        "latency: mean {:.3}ms p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms max {:.3}ms",
+        l.mean * 1e3,
+        l.p50 * 1e3,
+        l.p95 * 1e3,
+        l.p99 * 1e3,
+        l.max * 1e3
+    );
+    println!("digest: {:016x}", report.output_digest);
+    if quiet == 0 {
+        // Per-request answers with bit-exact latency: ci.sh diffs these
+        // lines between two runs to prove deterministic replay.
+        for r in &report.requests {
+            println!(
+                "out {:>6} {:>8} {:>4} {:016x}",
+                r.index,
+                r.node,
+                r.class,
+                r.latency.to_bits()
+            );
+        }
+    }
+    if let Some(path) = o.flags.get("json") {
+        std::fs::write(path, report.to_json("rtx6000")).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
     }
     Ok(())
 }

@@ -4,9 +4,15 @@
 
 use buffalo::blocks::{generate_blocks_checked, generate_blocks_fast, GenerateOptions};
 use buffalo::bucketing::{closure_counts, BuffaloScheduler, ClosureScratch};
+use buffalo::core::checkpoint::TrainerState;
+use buffalo::core::serve::{serve_trace, RequestTrace, ServeConfig};
+use buffalo::core::train::{Engine, TrainConfig};
+use buffalo::graph::datasets::{self, DatasetName};
 use buffalo::graph::{generators, NodeId};
 use buffalo::memsim::estimate::mem_from_counts;
-use buffalo::memsim::{measure, AggregatorKind, DeviceTimeline, GnnShape, StageTimings};
+use buffalo::memsim::{
+    measure, AggregatorKind, CostModel, DeviceMemory, DeviceTimeline, GnnShape, StageTimings,
+};
 use buffalo::sampling::BatchSampler;
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -193,5 +199,89 @@ proptest! {
         prop_assert!(t.overlapped_makespan <= t.serial_sum() + 1e-9);
         prop_assert!(t.overlapped_makespan + 1e-9 >= t.max_stage());
         prop_assert!(t.speedup() >= 1.0 - 1e-6);
+    }
+}
+
+/// FNV-1a over the Adam step counter, the headroom multiplier, and every
+/// parameter value and Adam-moment bit: the "nothing moved" witness for
+/// the engine's read-only paths.
+fn engine_fingerprint(state: &TrainerState) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(state.adam_t);
+    eat(state.headroom_multiplier.to_bits());
+    for p in &state.params {
+        for x in p.value.iter().chain(&p.m).chain(&p.v) {
+            eat(x.to_bits() as u64);
+        }
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Evaluation and serving are read-only: after any warmup, running
+    /// `Engine::evaluate` and the full `serve_trace` path leaves every
+    /// model parameter, Adam moment, and the optimizer/headroom state
+    /// bit-identical — inference must never perturb training state.
+    #[test]
+    fn evaluate_and_serve_leave_engine_state_untouched(
+        warmup in 0usize..3,
+        trace_seed in 0u64..1_000,
+        eval_seed in 0u64..1_000,
+        n_requests in 8usize..48,
+    ) {
+        let ds = datasets::load(DatasetName::Cora, 11);
+        let config = TrainConfig {
+            shape: GnnShape::new(
+                ds.spec.feat_dim,
+                16,
+                2,
+                ds.spec.num_classes,
+                AggregatorKind::Mean,
+            ),
+            fanouts: vec![5, 5],
+            lr: 0.01,
+            seed: 23,
+            parallelism: buffalo::par::Parallelism::auto(),
+        };
+        let mut engine = Engine::buffalo(config, 0.24);
+        let device = DeviceMemory::with_gib(24.0);
+        let cost = CostModel::rtx6000();
+        let seeds: Vec<NodeId> = (0..64).collect();
+        let batch = BatchSampler::new(vec![5, 5]).sample(&ds.graph, &seeds, 7);
+        for _ in 0..warmup {
+            engine.train_iteration(&ds, &batch, &device, &cost).unwrap();
+        }
+
+        let before = engine_fingerprint(&engine.capture_state());
+        let eval_nodes: Vec<NodeId> = (100..200).collect();
+        let acc = engine.evaluate(&ds, &eval_nodes, eval_seed);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let trace =
+            RequestTrace::poisson(n_requests, 200.0, ds.graph.num_nodes(), trace_seed).unwrap();
+        let report = serve_trace(
+            &engine,
+            &ds,
+            &device,
+            &cost,
+            &trace,
+            &ServeConfig::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(report.requests.len(), n_requests);
+        let after = engine_fingerprint(&engine.capture_state());
+        prop_assert_eq!(
+            before,
+            after,
+            "evaluate/serve moved training state (warmup {})",
+            warmup
+        );
     }
 }

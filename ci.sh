@@ -102,6 +102,58 @@ if [ "$bits" != "$(cat tests/golden/cora_epochs2_bits.txt)" ]; then
 fi
 echo "ci: cora epoch table and trail match the pre-refactor golden bitwise"
 
+# SIMD backends. The scalar backend is the default and must stay bitwise
+# identical to the historical kernels (the same golden as above, reached
+# via the explicit flag). Each vector backend gets its own golden gate:
+# IEEE-754 ops (including FMA) are exactly specified, so a backend's
+# trail is portable across any host that supports it. SSE currently
+# coincides with scalar on this model — the SAGE mean path is axpy-only,
+# and the SSE axpy (separate mul+add) is bit-equal to scalar — while AVX2
+# differs through FMA contraction; both must be run-to-run deterministic.
+ckdir=$(mktemp -d)
+scalar_bits=$(cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 12M \
+  --simd scalar --checkpoint-dir "$ckdir/scalar" --checkpoint-every 2 | grep -E '^\s+[0-9]|^trail')
+if [ "$scalar_bits" != "$(cat tests/golden/cora_epochs2_bits.txt)" ]; then
+  echo "ci: FAIL — --simd scalar diverged from tests/golden/cora_epochs2_bits.txt" >&2
+  diff tests/golden/cora_epochs2_bits.txt <(printf '%s\n' "$scalar_bits") >&2 || true
+  exit 1
+fi
+echo "ci: --simd scalar matches the golden bitwise"
+for backend in sse avx2; do
+  if bits=$(cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 12M \
+    --simd "$backend" --checkpoint-dir "$ckdir/$backend" --checkpoint-every 2 2>/dev/null \
+    | grep -E '^\s+[0-9]|^trail'); then
+    if [ "$bits" != "$(cat "tests/golden/cora_epochs2_${backend}_bits.txt")" ]; then
+      echo "ci: FAIL — --simd $backend diverged from tests/golden/cora_epochs2_${backend}_bits.txt" >&2
+      diff "tests/golden/cora_epochs2_${backend}_bits.txt" <(printf '%s\n' "$bits") >&2 || true
+      exit 1
+    fi
+    echo "ci: --simd $backend matches its golden bitwise"
+  else
+    echo "ci: skip — host CPU does not support --simd $backend"
+  fi
+done
+rm -rf "$ckdir"
+
+# `--simd auto` resolves to the best detected backend; whatever it picks
+# must be run-to-run deterministic, byte for byte.
+a1=$(cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 12M --simd auto \
+  | grep -E '^kernels|^\s+[0-9]')
+a2=$(cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 12M --simd auto \
+  | grep -E '^kernels|^\s+[0-9]')
+if [ "$a1" != "$a2" ]; then
+  echo "ci: FAIL — --simd auto diverged between two identical runs" >&2
+  printf 'run1:\n%s\nrun2:\n%s\n' "$a1" "$a2" >&2
+  exit 1
+fi
+echo "ci: --simd auto run-to-run byte-identical ($(printf '%s' "$a1" | head -1))"
+
+# bf16 feature storage must train end-to-end (numerics shift within the
+# documented 2^-8 relative bound, so no golden here — just the smoke).
+cargo run -q --release --bin buffalo -- train cora --epochs 1 --budget 12M \
+  --precision bf16 --simd auto >/dev/null
+echo "ci: --precision bf16 trains end-to-end"
+
 # Serving smoke: `buffalo serve` replays a seeded trace through the same
 # engine and bucket scheduler as training; two runs must produce
 # byte-identical output (per-request answers, latency bits, digest).

@@ -129,9 +129,12 @@ impl CheckpointOptions {
 }
 
 /// FNV-1a fingerprint of everything that determines the training
-/// computation: model shape, fanouts, learning rate, seeds, and the
-/// epoch driver's split sizes. `epochs` is deliberately excluded so a
-/// finished run can be resumed with a larger epoch budget.
+/// computation: model shape, fanouts, learning rate, seeds, the epoch
+/// driver's split sizes, and the SIMD backend (it selects the kernels'
+/// rounding, so resuming under a different backend would fork the
+/// numerics). `epochs` is deliberately excluded so a finished run can be
+/// resumed with a larger epoch budget; thread counts and tile sizes are
+/// excluded because they never change results under a fixed backend.
 pub fn config_fingerprint(cfg: &TrainConfig, epoch_cfg: &EpochConfig) -> u64 {
     let mut h = Fnv::new();
     h.u64(cfg.shape.feat_dim as u64);
@@ -149,6 +152,7 @@ pub fn config_fingerprint(cfg: &TrainConfig, epoch_cfg: &EpochConfig) -> u64 {
     h.u64(epoch_cfg.train_nodes as u64);
     h.u64(epoch_cfg.eval_nodes as u64);
     h.u64(epoch_cfg.seed);
+    h.u64(cfg.parallelism.simd as u64);
     h.finish()
 }
 
@@ -300,6 +304,14 @@ mod tests {
         let mut other_fanouts = tc.clone();
         other_fanouts.fanouts = vec![5, 4];
         assert_ne!(base, config_fingerprint(&other_fanouts, &ec));
+        // The SIMD backend selects the numerics; a snapshot must not
+        // resume under a different one. Thread count stays excluded.
+        let mut other_simd = tc.clone();
+        other_simd.parallelism.simd = buffalo_par::SimdBackend::Avx2;
+        assert_ne!(base, config_fingerprint(&other_simd, &ec));
+        let mut other_threads = tc.clone();
+        other_threads.parallelism.threads += 3;
+        assert_eq!(base, config_fingerprint(&other_threads, &ec));
     }
 
     #[test]

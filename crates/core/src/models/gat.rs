@@ -63,8 +63,12 @@ impl GatLayer {
         let n_dst = block.num_dst();
         let out_dim = self.out_dim;
         let z = self.lin.forward(h_src);
-        let dot =
-            |a: &Tensor, row: &[f32]| -> f32 { a.row(0).iter().zip(row).map(|(x, y)| x * y).sum() };
+        // Score dots and the weighted sum dispatch to the configured SIMD
+        // backend (the scalar backend reproduces the historical
+        // `map(x*y).sum()` chain bitwise).
+        let par = buffalo_par::ambient();
+        let simd = par.simd;
+        let dot = |a: &Tensor, row: &[f32]| -> f32 { simd.dot(a.row(0), row) };
         let mut y = Tensor::zeros(n_dst, out_dim);
         let mut alphas: Vec<Vec<f32>> = vec![Vec::new(); n_dst];
         let mut positive: Vec<Vec<bool>> = vec![Vec::new(); n_dst];
@@ -99,15 +103,12 @@ impl GatLayer {
                     *s /= sum;
                 }
                 for (&j, &a) in cands.iter().zip(&scores) {
-                    for (o, &zv) in out.iter_mut().zip(z_ref.row(j)) {
-                        *o += a * zv;
-                    }
+                    simd.axpy(out, z_ref.row(j), a);
                 }
                 al[r] = scores;
                 po[r] = pos;
             }
         };
-        let par = buffalo_par::ambient();
         let threads = par.effective_threads(n_dst);
         if threads <= 1 || out_dim == 0 {
             fill(0, y.data_mut(), &mut alphas, &mut positive);
@@ -155,7 +156,8 @@ impl GatLayer {
             dy.relu_backward(mask);
         }
         let par = buffalo_par::ambient();
-        let dot = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+        let simd = par.simd;
+        let dot = |a: &[f32], b: &[f32]| -> f32 { simd.dot(a, b) };
         // Phase 1 (parallel over destinations): candidate lists and the
         // per-edge score gradients ds = α · (dα − Σ α·dα) through softmax
         // and LeakyReLU, with the sequential dot-product chains.
@@ -261,22 +263,13 @@ impl GatLayer {
                         let (i, c) = (i as usize, c as usize);
                         match kind {
                             KIND_AGG => {
-                                let a = alphas_ref[i][c];
-                                for (o, &g) in row.iter_mut().zip(dy_ref.row(i)) {
-                                    *o += a * g;
-                                }
+                                simd.axpy(row, dy_ref.row(i), alphas_ref[i][c]);
                             }
                             KIND_SELF => {
-                                let ds = ds_ref[i][c];
-                                for (o, &al) in row.iter_mut().zip(a_l_row) {
-                                    *o += ds * al;
-                                }
+                                simd.axpy(row, a_l_row, ds_ref[i][c]);
                             }
                             _ => {
-                                let ds = ds_ref[i][c];
-                                for (o, &ar) in row.iter_mut().zip(a_r_row) {
-                                    *o += ds * ar;
-                                }
+                                simd.axpy(row, a_r_row, ds_ref[i][c]);
                             }
                         }
                     }
@@ -296,14 +289,8 @@ impl GatLayer {
                 for (i, cands) in cands_ref.iter().enumerate() {
                     for (c, &j) in cands.iter().enumerate() {
                         let ds = ds_ref[i][c];
-                        let zi = &z_ref.row(i)[d0..d0 + dal.len()];
-                        for (gl, &zv) in dal.iter_mut().zip(zi) {
-                            *gl += ds * zv;
-                        }
-                        let zj = &z_ref.row(j)[d0..d0 + dar.len()];
-                        for (gr, &zv) in dar.iter_mut().zip(zj) {
-                            *gr += ds * zv;
-                        }
+                        simd.axpy(dal, &z_ref.row(i)[d0..d0 + dal.len()], ds);
+                        simd.axpy(dar, &z_ref.row(j)[d0..d0 + dar.len()], ds);
                     }
                 }
             };

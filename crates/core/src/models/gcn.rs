@@ -52,19 +52,15 @@ impl GcnLayer {
         // still precedes the neighbors in block order, so the result is
         // bit-identical for any thread count.
         let par = buffalo_par::ambient();
+        let simd = par.simd;
         buffalo_par::parallel_rows(agg.data_mut(), dim, &par, |row0, chunk| {
             for (r, row) in chunk.chunks_exact_mut(dim).enumerate() {
                 let i = row0 + r;
                 let inv = 1.0 / (block.in_degree(i) + 1) as f32;
                 // Self contribution (prefix invariant: dst i is src row i).
-                for (a, &s) in row.iter_mut().zip(h_src.row(i)) {
-                    *a += s * inv;
-                }
+                simd.axpy(row, h_src.row(i), inv);
                 for &p in block.src_positions(i) {
-                    let src_row = h_src.row(p as usize);
-                    for (a, &s) in row.iter_mut().zip(src_row) {
-                        *a += s * inv;
-                    }
+                    simd.axpy(row, h_src.row(p as usize), inv);
                 }
             }
         });
@@ -91,16 +87,14 @@ impl GcnLayer {
         // `>= p`. Replaying in that order keeps the gradient bit-identical
         // for any thread count.
         let par = buffalo_par::ambient();
+        let simd = par.simd;
         let rev = ReverseIndex::new(block);
         let inv: Vec<f32> = (0..n_dst)
             .map(|i| 1.0 / (block.in_degree(i) + 1) as f32)
             .collect();
         let d_agg_ref = &d_agg;
         let add = |row: &mut [f32], i: usize| {
-            let iv = inv[i];
-            for (s, &g) in row.iter_mut().zip(d_agg_ref.row(i)) {
-                *s += g * iv;
-            }
+            simd.axpy(row, d_agg_ref.row(i), inv[i]);
         };
         buffalo_par::parallel_rows(dh_src.data_mut(), dim, &par, |row0, chunk| {
             for (r, row) in chunk.chunks_exact_mut(dim).enumerate() {

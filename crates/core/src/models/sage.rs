@@ -125,8 +125,11 @@ impl SageLayer {
             AggregatorImpl::Mean => {
                 // Parallel over disjoint destination rows; each row still
                 // accumulates its sources in block order, so the result is
-                // bit-identical for any thread count.
+                // bit-identical for any thread count. The per-source
+                // accumulation is an axpy dispatched to the configured
+                // SIMD backend.
                 let par = buffalo_par::ambient();
+                let simd = par.simd;
                 let mut agg = Tensor::zeros(n_dst, dim);
                 buffalo_par::parallel_rows(agg.data_mut(), dim, &par, |row0, chunk| {
                     for (r, dst_row) in chunk.chunks_exact_mut(dim).enumerate() {
@@ -136,10 +139,7 @@ impl SageLayer {
                         }
                         let inv = 1.0 / pos.len() as f32;
                         for &p in pos {
-                            let src_row = h_src.row(p as usize);
-                            for (a, &s) in dst_row.iter_mut().zip(src_row) {
-                                *a += s * inv;
-                            }
+                            simd.axpy(dst_row, h_src.row(p as usize), inv);
                         }
                     }
                 });
@@ -261,6 +261,7 @@ impl SageLayer {
                 // same per-element order as the sequential scatter, so the
                 // gradient is bit-identical for any thread count.
                 let par = buffalo_par::ambient();
+                let simd = par.simd;
                 let rev = ReverseIndex::new(block);
                 let inv: Vec<f32> = (0..n_dst)
                     .map(|i| {
@@ -277,10 +278,7 @@ impl SageLayer {
                 buffalo_par::parallel_rows(dh_src.data_mut(), dim, &par, |row0, chunk| {
                     for (r, src_row) in chunk.chunks_exact_mut(dim).enumerate() {
                         for &i in rev.dsts_of(row0 + r) {
-                            let iv = inv[i as usize];
-                            for (s, &g) in src_row.iter_mut().zip(d_agg_ref.row(i as usize)) {
-                                *s += g * iv;
-                            }
+                            simd.axpy(src_row, d_agg_ref.row(i as usize), inv[i as usize]);
                         }
                     }
                 });

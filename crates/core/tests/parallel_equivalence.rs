@@ -102,6 +102,7 @@ fn serial() -> Parallelism {
         min_parallel_rows: 1,
         tile_k: usize::MAX,
         tile_n: usize::MAX,
+        ..Parallelism::auto()
     }
 }
 
@@ -113,6 +114,7 @@ fn adversarial() -> Parallelism {
         min_parallel_rows: 1,
         tile_k: 3,
         tile_n: 5,
+        ..Parallelism::auto()
     }
 }
 

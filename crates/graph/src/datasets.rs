@@ -260,6 +260,44 @@ pub fn spec(name: DatasetName) -> DatasetSpec {
     }
 }
 
+/// Storage precision for materialized node features (CLI `--precision`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeaturePrecision {
+    /// Generate f32 rows on demand — the default; nothing materialized,
+    /// numerics identical to the historical behavior.
+    F32,
+    /// Materialize the whole feature table as bf16 and widen rows back
+    /// to f32 at gather time. Halves feature bytes (and so doubles
+    /// effective gather bandwidth per cache line) at a bounded cost:
+    /// each stored value is the round-to-nearest-even bf16 of the f32
+    /// feature, so the relative error is at most `2⁻⁸` per element
+    /// (see [`buffalo_simd::f32_to_bf16`]). Widening is exact, so
+    /// results do not depend on the SIMD backend — only on the chosen
+    /// precision.
+    Bf16,
+}
+
+impl FeaturePrecision {
+    /// Parses a CLI `--precision` value.
+    pub fn parse(s: &str) -> Result<FeaturePrecision, String> {
+        match s {
+            "f32" => Ok(FeaturePrecision::F32),
+            "bf16" => Ok(FeaturePrecision::Bf16),
+            other => Err(format!(
+                "unknown --precision value '{other}' (expected f32|bf16)"
+            )),
+        }
+    }
+
+    /// Stable lowercase name (matches the CLI vocabulary).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FeaturePrecision::F32 => "f32",
+            FeaturePrecision::Bf16 => "bf16",
+        }
+    }
+}
+
 /// A generated dataset: the graph plus deterministic feature/label access.
 #[derive(Debug, Clone)]
 pub struct Dataset {
@@ -272,6 +310,9 @@ pub struct Dataset {
     /// Class prototype vectors (`num_classes × feat_dim`), used to derive
     /// learnable labels from features.
     prototypes: Vec<f32>,
+    /// `Some` iff [`FeaturePrecision::Bf16`] is active: the full
+    /// `nodes × feat_dim` feature table, rounded to bf16.
+    bf16_features: Option<Vec<u16>>,
 }
 
 impl Dataset {
@@ -317,16 +358,85 @@ impl Dataset {
         if dim == 0 {
             return;
         }
-        buffalo_par::parallel_rows(out, dim, &buffalo_par::ambient(), |row0, chunk| {
+        let par = buffalo_par::ambient();
+        if let Some(table) = &self.bf16_features {
+            // bf16 mode: widen stored rows to f32. Widening is a left
+            // shift — exact on every SIMD backend — so the gathered
+            // values depend only on the precision, never the backend.
+            let simd = par.simd;
+            buffalo_par::parallel_rows(out, dim, &par, |row0, chunk| {
+                for (r, row) in chunk.chunks_exact_mut(dim).enumerate() {
+                    let node = nodes[row0 + r] as usize;
+                    simd.widen_bf16(row, &table[node * dim..(node + 1) * dim]);
+                }
+            });
+            return;
+        }
+        buffalo_par::parallel_rows(out, dim, &par, |row0, chunk| {
             for (r, row) in chunk.chunks_exact_mut(dim).enumerate() {
                 row.copy_from_slice(&self.feature_row(nodes[row0 + r]));
             }
         });
     }
 
-    /// Bytes per node feature row (`feat_dim * 4`).
+    /// The active feature-storage precision.
+    pub fn precision(&self) -> FeaturePrecision {
+        if self.bf16_features.is_some() {
+            FeaturePrecision::Bf16
+        } else {
+            FeaturePrecision::F32
+        }
+    }
+
+    /// Switches feature storage. `Bf16` materializes the full
+    /// `nodes × feat_dim` table (2 bytes per value — ~111 MB for the
+    /// largest scaled stand-in) by rounding each generated f32 row to
+    /// nearest-even bf16, parallelized over disjoint node rows; `F32`
+    /// drops the table and returns to on-demand generation. Idempotent.
+    pub fn set_precision(&mut self, precision: FeaturePrecision) {
+        match precision {
+            FeaturePrecision::F32 => self.bf16_features = None,
+            FeaturePrecision::Bf16 => {
+                if self.bf16_features.is_some() {
+                    return;
+                }
+                let dim = self.spec.feat_dim;
+                let n = self.graph.num_nodes();
+                let mut table = vec![0u16; n * dim];
+                if dim > 0 {
+                    let par = buffalo_par::ambient();
+                    let threads = par.effective_threads(n).max(1);
+                    let chunk_nodes = n.div_ceil(threads);
+                    let this = &*self;
+                    let tasks: Vec<buffalo_par::Task<'_>> = table
+                        .chunks_mut(chunk_nodes * dim)
+                        .enumerate()
+                        .map(|(ci, chunk)| -> buffalo_par::Task<'_> {
+                            Box::new(move || {
+                                for (r, row) in chunk.chunks_exact_mut(dim).enumerate() {
+                                    let node = (ci * chunk_nodes + r) as NodeId;
+                                    for (h, v) in row.iter_mut().zip(this.feature_row(node)) {
+                                        *h = buffalo_simd::f32_to_bf16(v);
+                                    }
+                                }
+                            })
+                        })
+                        .collect();
+                    buffalo_par::run_tasks(tasks, threads);
+                }
+                self.bf16_features = Some(table);
+            }
+        }
+    }
+
+    /// Bytes per node feature row: `feat_dim × 4` for f32 storage,
+    /// `feat_dim × 2` under [`FeaturePrecision::Bf16`].
     pub fn feature_row_bytes(&self) -> usize {
-        self.spec.feat_dim * std::mem::size_of::<f32>()
+        let per_value = match self.precision() {
+            FeaturePrecision::F32 => std::mem::size_of::<f32>(),
+            FeaturePrecision::Bf16 => std::mem::size_of::<u16>(),
+        };
+        self.spec.feat_dim * per_value
     }
 }
 
@@ -375,6 +485,7 @@ pub fn load(name: DatasetName, seed: u64) -> Dataset {
         graph,
         seed,
         prototypes,
+        bf16_features: None,
     }
 }
 
@@ -476,6 +587,53 @@ mod tests {
         assert!(zero_in > 0, "citation graph must have uncited nodes");
         // But the overall degree distribution still has the long tail.
         assert!(ds.graph.max_degree() > 50 * ds.graph.average_degree() as usize);
+    }
+
+    #[test]
+    fn bf16_gather_stays_within_error_bound() {
+        let mut ds = load(DatasetName::Cora, 5);
+        let nodes = [0u32, 3, 7, 11, 2_707];
+        let dim = ds.spec.feat_dim;
+        let mut exact = vec![0.0; nodes.len() * dim];
+        ds.gather_features(&nodes, &mut exact);
+        ds.set_precision(FeaturePrecision::Bf16);
+        assert_eq!(ds.precision(), FeaturePrecision::Bf16);
+        let mut rounded = vec![0.0; nodes.len() * dim];
+        ds.gather_features(&nodes, &mut rounded);
+        for (&e, &r) in exact.iter().zip(&rounded) {
+            // bf16 keeps 8 significand bits: relative error is at most 2^-8.
+            assert!(
+                (e - r).abs() <= e.abs() / 256.0,
+                "bf16 gather out of bound: exact {e} rounded {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn precision_toggles_row_bytes_and_round_trips() {
+        let mut ds = load(DatasetName::Cora, 5);
+        let f32_bytes = ds.feature_row_bytes();
+        assert_eq!(f32_bytes, ds.spec.feat_dim * 4);
+        ds.set_precision(FeaturePrecision::Bf16);
+        assert_eq!(ds.feature_row_bytes(), f32_bytes / 2);
+        // Idempotent: re-applying bf16 keeps the table, returning to f32
+        // restores exact gathers.
+        ds.set_precision(FeaturePrecision::Bf16);
+        assert_eq!(ds.precision(), FeaturePrecision::Bf16);
+        ds.set_precision(FeaturePrecision::F32);
+        assert_eq!(ds.precision(), FeaturePrecision::F32);
+        assert_eq!(ds.feature_row_bytes(), f32_bytes);
+        let mut out = vec![0.0; ds.spec.feat_dim];
+        ds.gather_features(&[9], &mut out);
+        assert_eq!(out, ds.feature_row(9));
+    }
+
+    #[test]
+    fn feature_precision_parse_round_trips() {
+        for p in [FeaturePrecision::F32, FeaturePrecision::Bf16] {
+            assert_eq!(FeaturePrecision::parse(p.as_str()).unwrap(), p);
+        }
+        assert!(FeaturePrecision::parse("f16").is_err());
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   replay.
 //! * `undocumented-unsafe` — every `unsafe` block carries a `// SAFETY:`
 //!   justification within the three preceding lines.
+//! * `undocumented-simd` — every `#[target_feature]` function documents
+//!   its SAFETY contract *and* how callers feature-detect before calling
+//!   it; raw `std::arch` intrinsics (`_mm*`) outside such functions are
+//!   errors — vector kernels are only reachable through detected
+//!   dispatch.
 //! * `unaccounted-alloc` — types that hold device state (`AllocId` /
 //!   `dyn Device`) must not side-allocate with `vec!`/`with_capacity`/
 //!   `reserve`/`resize` in their impls; device memory flows through the
@@ -47,12 +52,13 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The five substantive rules. Waiver comments may only name these.
-pub const RULES: [&str; 5] = [
+/// The six substantive rules. Waiver comments may only name these.
+pub const RULES: [&str; 6] = [
     "nondet-iteration",
     "no-panic-in-recovery",
     "no-wallclock-in-numerics",
     "undocumented-unsafe",
+    "undocumented-simd",
     "unaccounted-alloc",
 ];
 
@@ -326,6 +332,7 @@ pub fn check_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     rules::no_panic_in_recovery(&ctx, cfg, &mut raw);
     rules::no_wallclock_in_numerics(&ctx, cfg, &mut raw);
     rules::undocumented_unsafe(&ctx, cfg, &mut raw);
+    rules::undocumented_simd(&ctx, cfg, &mut raw);
     rules::unaccounted_alloc(&ctx, cfg, &mut raw);
 
     // Waiver application: a waiver on line L covers matching diagnostics

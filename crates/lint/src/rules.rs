@@ -1,4 +1,4 @@
-//! The five invariant rules, each a pattern over the lexed token stream.
+//! The six invariant rules, each a pattern over the lexed token stream.
 //!
 //! Every rule receives the same [`FileCtx`] view: `code` is the ordered
 //! list of token indices that are neither comments nor inside
@@ -178,43 +178,126 @@ pub fn undocumented_unsafe(ctx: &FileCtx, _cfg: &Config, out: &mut Vec<Diagnosti
         if !opens_block {
             continue;
         }
-        // A comment ending within the 3 lines above `unsafe` (or trailing
-        // on its line) counts, and a contiguous run of `//` lines is one
-        // comment: `SAFETY:` may sit on the run's first line even when the
-        // justification is long.
-        let lo = t.line.saturating_sub(3);
-        let comment_lines: Vec<(u32, &str)> = ctx
-            .comments
-            .iter()
-            .map(|&ci| (ctx.toks[ci].line, ctx.toks[ci].text.as_str()))
-            .collect();
-        let documented = comment_lines.iter().any(|&(line, _)| {
-            if line < lo || line > t.line {
-                return false;
-            }
-            // Walk upward through contiguous comment lines from here.
-            let mut cur = line;
-            loop {
-                if comment_lines
-                    .iter()
-                    .any(|&(l, txt)| l == cur && txt.contains("SAFETY:"))
-                {
-                    return true;
-                }
-                if cur > 1 && comment_lines.iter().any(|&(l, _)| l == cur - 1) {
-                    cur -= 1;
-                } else {
-                    return false;
-                }
-            }
-        });
-        if !documented {
+        if !comment_run_documents(ctx, t.line, &["SAFETY:"]) {
             diag(
                 "undocumented-unsafe",
                 ctx,
                 t,
                 "`unsafe` block without a `// SAFETY:` comment in the 3 preceding lines"
                     .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// True when a contiguous `//` comment run reaching into the 3 lines
+/// above `line` (or trailing on `line` itself) contains every needle —
+/// each needle may sit on a different line of the run, so a long
+/// justification whose first line says `SAFETY:` still counts.
+fn comment_run_documents(ctx: &FileCtx, line: u32, needles: &[&str]) -> bool {
+    let lo = line.saturating_sub(3);
+    let comment_lines: Vec<(u32, &str)> = ctx
+        .comments
+        .iter()
+        .map(|&ci| (ctx.toks[ci].line, ctx.toks[ci].text.as_str()))
+        .collect();
+    comment_lines.iter().any(|&(start, _)| {
+        if start < lo || start > line {
+            return false;
+        }
+        // Walk upward through contiguous comment lines from here,
+        // accumulating which needles the run has shown so far.
+        let mut found = vec![false; needles.len()];
+        let mut cur = start;
+        loop {
+            for &(l, txt) in &comment_lines {
+                if l == cur {
+                    for (n, needle) in needles.iter().enumerate() {
+                        if txt.contains(needle) {
+                            found[n] = true;
+                        }
+                    }
+                }
+            }
+            if found.iter().all(|&f| f) {
+                return true;
+            }
+            if cur > 1 && comment_lines.iter().any(|&(l, _)| l == cur - 1) {
+                cur -= 1;
+            } else {
+                return false;
+            }
+        }
+    })
+}
+
+/// `undocumented-simd`: SIMD soundness is a pair of obligations. Every
+/// `#[target_feature]` function must carry, within the 3 lines above the
+/// attribute, a comment run stating both the `SAFETY:` contract and how
+/// callers feature-*detect* before reaching it (mention of
+/// `is_x86_feature_detected!` or the word "detect" satisfies this). And
+/// raw `std::arch` intrinsics (`_mm*`) may only appear inside such
+/// functions — an intrinsic in openly-callable code executes an
+/// undetected instruction and faults on older hardware.
+pub fn undocumented_simd(ctx: &FileCtx, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let code = &ctx.code;
+    let tok = |k: usize| -> &Tok { &ctx.toks[code[k]] };
+
+    // Pass 1: `#[target_feature(..)]` attributes — check the comment run
+    // and record the decorated function's body span (code-index space).
+    let mut simd_fn_spans: Vec<(usize, usize)> = Vec::new();
+    let mut k = 0usize;
+    while k < code.len() {
+        let is_attr = k + 2 < code.len()
+            && tok(k).is_punct('#')
+            && tok(k + 1).is_punct('[')
+            && tok(k + 2).is_ident("target_feature");
+        if !is_attr {
+            k += 1;
+            continue;
+        }
+        let attr = tok(k);
+        if !comment_run_documents(ctx, attr.line, &["SAFETY:", "detect"]) {
+            diag(
+                "undocumented-simd",
+                ctx,
+                attr,
+                "`#[target_feature]` function without a `// SAFETY:` comment noting how \
+                 callers feature-detect (e.g. `is_x86_feature_detected!`) in the 3 \
+                 preceding lines"
+                    .to_string(),
+                out,
+            );
+        }
+        // Forward to the decorated `fn`, then brace-match its body.
+        let Some(fn_at) = (k + 3..code.len()).find(|&j| tok(j).is_ident("fn")) else {
+            break;
+        };
+        let Some(open) = (fn_at + 1..code.len()).find(|&j| tok(j).is_punct('{')) else {
+            break;
+        };
+        let close = matching_brace(ctx, code, open).unwrap_or(code.len());
+        simd_fn_spans.push((open, close));
+        k = close + 1;
+    }
+
+    // Pass 2: raw intrinsics outside those spans.
+    for (j, &ti) in code.iter().enumerate() {
+        let t = &ctx.toks[ti];
+        if t.kind == TokKind::Ident
+            && t.text.starts_with("_mm")
+            && !simd_fn_spans.iter().any(|&(s, e)| j > s && j < e)
+        {
+            diag(
+                "undocumented-simd",
+                ctx,
+                t,
+                format!(
+                    "`{}` std::arch intrinsic outside a `#[target_feature]` function — \
+                     raw SIMD calls are only sound behind runtime-detected dispatch",
+                    t.text
+                ),
                 out,
             );
         }
@@ -450,6 +533,32 @@ mod tests {
     #[test]
     fn unsafe_fn_signature_is_not_a_block() {
         assert!(run("unsafe fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn target_feature_needs_safety_and_detection_note() {
+        let ok = "// SAFETY: requires AVX2; callers reach this only after\n// is_x86_feature_detected! detection.\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\n";
+        assert!(run(ok).is_empty());
+        // A SAFETY comment that never mentions detection is not enough.
+        let no_detect =
+            "// SAFETY: requires AVX2.\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\n";
+        let d = run(no_detect);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "undocumented-simd");
+        let bare = "#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\n";
+        let d = run(bare);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "undocumented-simd");
+    }
+
+    #[test]
+    fn intrinsics_allowed_only_inside_target_feature_fns() {
+        let ok = "// SAFETY: requires AVX2; reached only after detection.\n#[target_feature(enable = \"avx2\")]\nunsafe fn k(a: f32) { let _ = _mm256_set1_ps(a); }\n";
+        assert!(run(ok).is_empty());
+        let bad = "fn k(a: f32) -> f32 { _mm256_cvtss_f32(_mm256_set1_ps(a)) }\n";
+        let d = run(bad);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == "undocumented-simd"));
     }
 
     #[test]

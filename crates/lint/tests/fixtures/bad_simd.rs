@@ -1,0 +1,7 @@
+//! Known-bad: a raw std::arch intrinsic in openly-callable code, outside
+//! any `#[target_feature]` function — it executes an undetected
+//! instruction and faults on hardware without the feature.
+
+fn broadcast(a: f32) -> std::arch::x86_64::__m256 {
+    _mm256_set1_ps(a)
+}

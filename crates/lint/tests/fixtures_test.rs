@@ -23,6 +23,7 @@ fn each_rule_has_a_bad_fixture_with_exactly_one_diagnostic() {
         ("bad_no_panic.rs", "no-panic-in-recovery"),
         ("bad_wallclock.rs", "no-wallclock-in-numerics"),
         ("bad_unsafe.rs", "undocumented-unsafe"),
+        ("bad_simd.rs", "undocumented-simd"),
         ("bad_alloc.rs", "unaccounted-alloc"),
     ] {
         let diags = lint_fixture(file);

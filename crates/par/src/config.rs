@@ -1,5 +1,6 @@
 //! The [`Parallelism`] configuration and its process-wide ambient copy.
 
+use buffalo_simd::SimdBackend;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default minimum output-row count before a kernel goes parallel; below
@@ -15,12 +16,19 @@ pub const DEFAULT_TILE_K: usize = 64;
 pub const DEFAULT_TILE_N: usize = 128;
 
 /// How the CPU compute kernels split their work: worker-thread count,
-/// the serial-fallback threshold, and cache-tile sizes.
+/// the serial-fallback threshold, cache-tile sizes, and the SIMD inner
+/// kernel backend.
 ///
-/// None of these fields affect results — kernels partition by disjoint
-/// output rows and keep per-element accumulation order fixed — so any two
-/// configurations produce bit-identical tensors. They only trade off
-/// wall-clock time.
+/// `threads` and `min_parallel_rows` never affect results — kernels
+/// partition by disjoint output rows and keep per-element accumulation
+/// order fixed. Under the default [`SimdBackend::Scalar`] backend the
+/// tile sizes are also bitwise-neutral, so any two scalar configurations
+/// produce bit-identical tensors (the historical contract, unchanged).
+/// A vector `simd` backend selects different (run-to-run deterministic)
+/// rounding, and makes the tile grid part of that rounding pattern: each
+/// tile's lane body/scalar tail split follows the tile bounds. In short:
+/// numerics are a function of (`simd`, `tile_k`, `tile_n`) and nothing
+/// else here; see [`SimdBackend`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Parallelism {
     /// Total threads applied to a kernel, including the calling thread
@@ -32,6 +40,10 @@ pub struct Parallelism {
     pub tile_k: usize,
     /// Width (n) tile of the blocked matmul kernels.
     pub tile_n: usize,
+    /// SIMD backend for the per-element inner kernels (axpy/dot/widen).
+    /// Unlike the scheduling fields this selects the numerics; scalar is
+    /// the default and vectorization is opt-in (CLI `--simd`).
+    pub simd: SimdBackend,
 }
 
 impl Parallelism {
@@ -58,6 +70,7 @@ impl Parallelism {
             min_parallel_rows: DEFAULT_MIN_PARALLEL_ROWS,
             tile_k: DEFAULT_TILE_K,
             tile_n: DEFAULT_TILE_N,
+            simd: SimdBackend::Scalar,
         }
     }
 
@@ -79,6 +92,7 @@ impl Parallelism {
         AMBIENT_MIN_ROWS.store(self.min_parallel_rows.max(1), Ordering::Relaxed);
         AMBIENT_TILE_K.store(self.tile_k.max(1), Ordering::Relaxed);
         AMBIENT_TILE_N.store(self.tile_n.max(1), Ordering::Relaxed);
+        AMBIENT_SIMD.store(self.simd as usize + 1, Ordering::Relaxed);
     }
 }
 
@@ -97,6 +111,9 @@ static AMBIENT_THREADS: AtomicUsize = AtomicUsize::new(0);
 static AMBIENT_MIN_ROWS: AtomicUsize = AtomicUsize::new(0);
 static AMBIENT_TILE_K: AtomicUsize = AtomicUsize::new(0);
 static AMBIENT_TILE_N: AtomicUsize = AtomicUsize::new(0);
+// Stored as `backend as usize + 1` so zero keeps meaning "not installed"
+// (falling back to the scalar default).
+static AMBIENT_SIMD: AtomicUsize = AtomicUsize::new(0);
 
 fn read_or(cell: &AtomicUsize, default: usize) -> usize {
     match cell.load(Ordering::Relaxed) {
@@ -114,6 +131,10 @@ pub fn ambient() -> Parallelism {
         min_parallel_rows: read_or(&AMBIENT_MIN_ROWS, DEFAULT_MIN_PARALLEL_ROWS),
         tile_k: read_or(&AMBIENT_TILE_K, DEFAULT_TILE_K),
         tile_n: read_or(&AMBIENT_TILE_N, DEFAULT_TILE_N),
+        simd: match AMBIENT_SIMD.load(Ordering::Relaxed) {
+            0 => SimdBackend::Scalar,
+            v => SimdBackend::from_index(v - 1).unwrap_or(SimdBackend::Scalar),
+        },
     }
 }
 
@@ -128,6 +149,7 @@ mod tests {
             min_parallel_rows: 100,
             tile_k: 4,
             tile_n: 4,
+            simd: SimdBackend::Scalar,
         };
         assert_eq!(p.effective_threads(99), 1);
         assert_eq!(p.effective_threads(100), 8);
@@ -142,6 +164,7 @@ mod tests {
             min_parallel_rows: 1,
             tile_k: 4,
             tile_n: 4,
+            simd: SimdBackend::Scalar,
         };
         assert_eq!(p.effective_threads(5), 5);
     }
@@ -152,5 +175,8 @@ mod tests {
         assert!(a.threads >= 1);
         assert!(a.tile_k >= 1 && a.tile_n >= 1);
         assert!(a.min_parallel_rows >= 1);
+        // Nothing installed (or whatever a prior test installed): the
+        // decoded backend is always a valid enum value.
+        assert!(SimdBackend::from_index(a.simd as usize).is_some());
     }
 }

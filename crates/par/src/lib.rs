@@ -25,5 +25,6 @@
 mod config;
 mod pool;
 
+pub use buffalo_simd::{SimdBackend, SimdPolicy};
 pub use config::{ambient, Parallelism};
 pub use pool::{global_pool, parallel_for, parallel_rows, run_tasks, Pool, Task};

@@ -1,15 +1,29 @@
 //! 2-D row-major f32 tensor.
 //!
 //! The three GEMM kernels ([`Tensor::matmul`], [`Tensor::matmul_tn`],
-//! [`Tensor::matmul_nt`]) are cache-blocked and parallelized over disjoint
-//! output-row ranges through [`buffalo_par`]. Each output element always
-//! accumulates its terms in ascending-`p` order, so results are
-//! bit-identical for every thread count and tile size.
+//! [`Tensor::matmul_nt`]) share one cache-blocked implementation
+//! (`Tensor::gemm`), parallelized over disjoint output-row ranges
+//! through [`buffalo_par`] with the inner loops dispatched to the
+//! configured [`buffalo_par::SimdBackend`]. Each output element always
+//! accumulates its terms in ascending-`p` order, so within a backend
+//! results are bit-identical for every thread count and tile size (the
+//! default scalar backend reproduces the historical bits exactly).
 
 use buffalo_par::{parallel_rows, Parallelism};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+
+/// The three dense-product layouts collapsed into `Tensor::gemm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gemm {
+    /// `A · B` — forward projections.
+    Nn,
+    /// `Aᵀ · B` without materializing the transpose — weight gradients.
+    Tn,
+    /// `A · Bᵀ` — input gradients.
+    Nt,
+}
 
 /// A dense 2-D `f32` matrix, row-major.
 #[derive(Clone, PartialEq)]
@@ -119,43 +133,7 @@ impl Tensor {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul_with(&self, rhs: &Tensor, par: &Parallelism) -> Tensor {
-        assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Tensor::zeros(m, n);
-        if m == 0 || n == 0 || k == 0 {
-            return out;
-        }
-        let tile_k = par.tile_k.max(1);
-        let tile_n = par.tile_n.max(1);
-        let a = &self.data;
-        let b = &rhs.data;
-        parallel_rows(&mut out.data, n, par, |row0, chunk| {
-            // k-tile outer so a tile_k × tile_n panel of B stays cache
-            // resident while the thread sweeps its rows. Per element the
-            // p order is still globally ascending: k-tiles ascend and p
-            // ascends within each.
-            for p0 in (0..k).step_by(tile_k) {
-                let p1 = (p0 + tile_k).min(k);
-                for j0 in (0..n).step_by(tile_n) {
-                    let j1 = (j0 + tile_n).min(n);
-                    for (r, o_row) in chunk.chunks_exact_mut(n).enumerate() {
-                        let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
-                        let o_tile = &mut o_row[j0..j1];
-                        for p in p0..p1 {
-                            let av = a_row[p];
-                            if av == 0.0 {
-                                continue;
-                            }
-                            let b_tile = &b[p * n + j0..p * n + j1];
-                            for (o, &bv) in o_tile.iter_mut().zip(b_tile) {
-                                *o += av * bv;
-                            }
-                        }
-                    }
-                }
-            }
-        });
-        out
+        self.gemm(rhs, par, Gemm::Nn)
     }
 
     /// `selfᵀ × rhs` (`k×m ᵀ · k×n = m×n`) with the ambient
@@ -177,39 +155,7 @@ impl Tensor {
     ///
     /// Panics if row counts differ.
     pub fn matmul_tn_with(&self, rhs: &Tensor, par: &Parallelism) -> Tensor {
-        assert_eq!(self.rows, rhs.rows, "matmul_tn row mismatch");
-        let (k, m, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Tensor::zeros(m, n);
-        if m == 0 || n == 0 || k == 0 {
-            return out;
-        }
-        let tile_k = par.tile_k.max(1);
-        let tile_n = par.tile_n.max(1);
-        let a = &self.data; // k × m, read down column i
-        let b = &rhs.data;
-        parallel_rows(&mut out.data, n, par, |row0, chunk| {
-            for p0 in (0..k).step_by(tile_k) {
-                let p1 = (p0 + tile_k).min(k);
-                for j0 in (0..n).step_by(tile_n) {
-                    let j1 = (j0 + tile_n).min(n);
-                    for (r, o_row) in chunk.chunks_exact_mut(n).enumerate() {
-                        let i = row0 + r;
-                        let o_tile = &mut o_row[j0..j1];
-                        for p in p0..p1 {
-                            let av = a[p * m + i];
-                            if av == 0.0 {
-                                continue;
-                            }
-                            let b_tile = &b[p * n + j0..p * n + j1];
-                            for (o, &bv) in o_tile.iter_mut().zip(b_tile) {
-                                *o += av * bv;
-                            }
-                        }
-                    }
-                }
-            }
-        });
-        out
+        self.gemm(rhs, par, Gemm::Tn)
     }
 
     /// `self × rhsᵀ` (`m×k · n×k ᵀ = m×n`) with the ambient
@@ -232,27 +178,86 @@ impl Tensor {
     ///
     /// Panics if column counts differ.
     pub fn matmul_nt_with(&self, rhs: &Tensor, par: &Parallelism) -> Tensor {
-        assert_eq!(self.cols, rhs.cols, "matmul_nt column mismatch");
-        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        self.gemm(rhs, par, Gemm::Nt)
+    }
+
+    /// The one dense-product kernel behind all six `matmul*` entry
+    /// points. The three layouts share shape validation, row-parallel
+    /// dispatch and the SIMD backend wiring (`par.simd` — exactly one
+    /// call site per inner-loop shape):
+    ///
+    /// * `Nn`/`Tn` accumulate rank-1 updates — the inner loop is an
+    ///   `axpy` over a `tile_n`-wide output tile, k-tiled so a
+    ///   `tile_k × tile_n` panel of B stays cache resident. Per element
+    ///   the `p` order is globally ascending (k-tiles ascend, `p`
+    ///   ascends within each) and zero `a` terms are skipped.
+    /// * `Nt` computes one full-depth dot product per element (k is
+    ///   never split — that would reassociate the chain).
+    ///
+    /// Within a backend, results are bit-identical for every thread
+    /// count (rows are disjoint and each row's work is independent of
+    /// the chunking). Under the scalar backend tile sizes are also
+    /// bitwise-neutral; under a vector backend the tile grid decides
+    /// where each axpy's lane body ends and its scalar tail begins, so
+    /// tile sizes join the backend in fixing the (still run-to-run
+    /// deterministic) rounding. See [`buffalo_par::SimdBackend`].
+    fn gemm(&self, rhs: &Tensor, par: &Parallelism, layout: Gemm) -> Tensor {
+        let (m, k, n) = match layout {
+            Gemm::Nn => {
+                assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
+                (self.rows, self.cols, rhs.cols)
+            }
+            Gemm::Tn => {
+                assert_eq!(self.rows, rhs.rows, "matmul_tn row mismatch");
+                (self.cols, self.rows, rhs.cols)
+            }
+            Gemm::Nt => {
+                assert_eq!(self.cols, rhs.cols, "matmul_nt column mismatch");
+                (self.rows, self.cols, rhs.rows)
+            }
+        };
         let mut out = Tensor::zeros(m, n);
-        if m == 0 || n == 0 {
+        // For Nt a zero depth still writes the (well-defined) empty dot
+        // products; the axpy layouts have nothing to add.
+        if m == 0 || n == 0 || (k == 0 && layout != Gemm::Nt) {
             return out;
         }
+        let tile_k = par.tile_k.max(1);
         let tile_n = par.tile_n.max(1);
-        let a = &self.data;
+        let simd = par.simd;
+        let a = &self.data; // Tn reads it as k × m, down column i.
         let b = &rhs.data;
-        parallel_rows(&mut out.data, n, par, |row0, chunk| {
-            for j0 in (0..n).step_by(tile_n) {
-                let j1 = (j0 + tile_n).min(n);
-                for (r, o_row) in chunk.chunks_exact_mut(n).enumerate() {
-                    let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
-                    for (j, o) in o_row[j0..j1].iter_mut().enumerate() {
-                        let b_row = &b[(j0 + j) * k..(j0 + j + 1) * k];
-                        let mut acc = 0.0f32;
-                        for (&av, &bv) in a_row.iter().zip(b_row) {
-                            acc += av * bv;
+        parallel_rows(&mut out.data, n, par, |row0, chunk| match layout {
+            Gemm::Nn | Gemm::Tn => {
+                for p0 in (0..k).step_by(tile_k) {
+                    let p1 = (p0 + tile_k).min(k);
+                    for j0 in (0..n).step_by(tile_n) {
+                        let j1 = (j0 + tile_n).min(n);
+                        for (r, o_row) in chunk.chunks_exact_mut(n).enumerate() {
+                            let i = row0 + r;
+                            let o_tile = &mut o_row[j0..j1];
+                            for p in p0..p1 {
+                                let av = match layout {
+                                    Gemm::Nn => a[i * k + p],
+                                    _ => a[p * m + i],
+                                };
+                                if av == 0.0 {
+                                    continue;
+                                }
+                                simd.axpy(o_tile, &b[p * n + j0..p * n + j1], av);
+                            }
                         }
-                        *o = acc;
+                    }
+                }
+            }
+            Gemm::Nt => {
+                for j0 in (0..n).step_by(tile_n) {
+                    let j1 = (j0 + tile_n).min(n);
+                    for (r, o_row) in chunk.chunks_exact_mut(n).enumerate() {
+                        let a_row = &a[(row0 + r) * k..(row0 + r + 1) * k];
+                        for (j, o) in o_row[j0..j1].iter_mut().enumerate() {
+                            *o = simd.dot(a_row, &b[(j0 + j) * k..(j0 + j + 1) * k]);
+                        }
                     }
                 }
             }
@@ -363,17 +368,34 @@ impl Tensor {
         out
     }
 
-    /// Gathers rows by index into a new tensor.
+    /// Gathers rows by index into a new tensor. Row copies are
+    /// parallelized over disjoint output rows (pure moves, so the result
+    /// is bitwise-independent of the configuration).
     ///
     /// # Panics
     ///
     /// Panics if any index is out of range.
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
         let mut out = Tensor::zeros(indices.len(), self.cols);
-        for (i, &idx) in indices.iter().enumerate() {
+        // Validate everything up front so the parallel phase is a plain
+        // infallible copy.
+        for &idx in indices {
             assert!(idx < self.rows, "row index out of range");
-            out.row_mut(i).copy_from_slice(self.row(idx));
         }
+        if self.cols == 0 {
+            return out;
+        }
+        let cols = self.cols;
+        parallel_rows(
+            &mut out.data,
+            cols,
+            &buffalo_par::ambient(),
+            |row0, chunk| {
+                for (r, row) in chunk.chunks_exact_mut(cols).enumerate() {
+                    row.copy_from_slice(self.row(indices[row0 + r]));
+                }
+            },
+        );
         out
     }
 
@@ -533,6 +555,7 @@ mod tests {
                 min_parallel_rows: 1,
                 tile_k: usize::MAX,
                 tile_n: usize::MAX,
+                ..Parallelism::auto()
             }
         }
 
@@ -545,6 +568,7 @@ mod tests {
                         min_parallel_rows: 1,
                         tile_k,
                         tile_n,
+                        ..Parallelism::auto()
                     });
                 }
             }
@@ -602,6 +626,7 @@ mod tests {
                 min_parallel_rows: 1,
                 tile_k: 3,
                 tile_n: 3,
+                ..Parallelism::auto()
             };
             let a = Tensor::zeros(0, 5);
             let b = Tensor::zeros(5, 4);
@@ -612,6 +637,94 @@ mod tests {
             let a = Tensor::zeros(3, 0);
             let b = Tensor::zeros(4, 0);
             assert_eq!(a.matmul_nt_with(&b, &cfg).data(), &[0.0; 12]);
+        }
+    }
+
+    mod simd_backends {
+        use super::*;
+        use buffalo_par::{Parallelism, SimdBackend};
+
+        fn cfg(backend: SimdBackend, threads: usize, tile: usize) -> Parallelism {
+            Parallelism {
+                threads,
+                min_parallel_rows: 1,
+                tile_k: tile,
+                tile_n: tile,
+                simd: backend,
+            }
+        }
+
+        fn close(x: f32, y: f32) -> bool {
+            (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs()))
+        }
+
+        /// Every available backend matches the scalar result to rounding
+        /// tolerance, on shapes that exercise non-multiple-of-lane tails.
+        #[test]
+        fn backends_match_scalar_within_tolerance() {
+            for backend in SimdBackend::available() {
+                for (m, k, n) in [(1, 1, 1), (5, 7, 9), (16, 33, 17), (37, 19, 23)] {
+                    let a = Tensor::xavier(m, k, 21);
+                    let b = Tensor::xavier(k, n, 22);
+                    let at = Tensor::xavier(k, m, 23);
+                    let bt = Tensor::xavier(n, k, 24);
+                    let scalar = cfg(SimdBackend::Scalar, 1, 64);
+                    let simd = cfg(backend, 1, 64);
+                    for (want, got) in [
+                        (a.matmul_with(&b, &scalar), a.matmul_with(&b, &simd)),
+                        (at.matmul_tn_with(&b, &scalar), at.matmul_tn_with(&b, &simd)),
+                        (a.matmul_nt_with(&bt, &scalar), a.matmul_nt_with(&bt, &simd)),
+                    ] {
+                        for (x, y) in want.data().iter().zip(got.data()) {
+                            assert!(close(*x, *y), "{backend:?} {m}x{k}x{n}: {x} vs {y}");
+                        }
+                    }
+                }
+            }
+        }
+
+        /// The determinism contract the golden gates rely on: within one
+        /// backend (at fixed tile sizes), results stay bitwise-identical
+        /// across thread counts and repeated runs. Tile sizes are also
+        /// bitwise-neutral for the NT (dot) layout on every backend, and
+        /// for everything under scalar — but under a vector backend the
+        /// axpy layouts' tile grid decides where the lane body ends and
+        /// the scalar tail begins, so tiles there are part of the
+        /// (deterministic) rounding pattern, not varied here.
+        #[test]
+        fn each_backend_bitwise_across_threads() {
+            for backend in SimdBackend::available() {
+                let a = Tensor::xavier(37, 19, 31);
+                let b = Tensor::xavier(19, 23, 32);
+                let bt = Tensor::xavier(23, 19, 33);
+                let want = a.matmul_with(&b, &cfg(backend, 1, 64));
+                let want_nt = a.matmul_nt_with(&bt, &cfg(backend, 1, 64));
+                for threads in [1, 2, 4, 8] {
+                    let c = cfg(backend, threads, 64);
+                    assert_eq!(
+                        a.matmul_with(&b, &c).data(),
+                        want.data(),
+                        "{backend:?} t={threads}"
+                    );
+                    assert_eq!(
+                        a.matmul_nt_with(&bt, &c).data(),
+                        want_nt.data(),
+                        "{backend:?} nt t={threads}"
+                    );
+                    // Repeated run, same config: identical bits.
+                    assert_eq!(a.matmul_with(&b, &c).data(), want.data());
+                }
+                // NT never splits k, so its dots are tile-invariant on
+                // every backend.
+                for tile in [1, 3, usize::MAX] {
+                    let c = cfg(backend, 4, tile);
+                    assert_eq!(
+                        a.matmul_nt_with(&bt, &c).data(),
+                        want_nt.data(),
+                        "{backend:?} nt tile={tile}"
+                    );
+                }
+            }
         }
     }
 
@@ -672,6 +785,26 @@ mod tests {
                     }
                 }
                 prop_assert!(close(&c.matmul_nt(&d), &reference_matmul(&c, &dt)));
+            }
+
+            /// Every available SIMD backend agrees with the scalar
+            /// kernels to rounding tolerance on arbitrary shapes — the
+            /// 1..34 ranges cross the 4- and 8-lane boundaries, so the
+            /// remainder (tail) handling is exercised on every run.
+            #[test]
+            fn simd_backends_match_scalar(m in 1usize..34, k in 1usize..34, n in 1usize..10, seed in 0u64..50) {
+                let a = Tensor::xavier(m, k, seed);
+                let b = Tensor::xavier(k, n, seed + 1);
+                let bt = Tensor::xavier(n, k, seed + 2);
+                let scalar = buffalo_par::Parallelism {
+                    simd: buffalo_par::SimdBackend::Scalar,
+                    ..buffalo_par::Parallelism::serial()
+                };
+                for backend in buffalo_par::SimdBackend::available() {
+                    let cfg = buffalo_par::Parallelism { simd: backend, ..scalar };
+                    prop_assert!(close(&a.matmul_with(&b, &cfg), &a.matmul_with(&b, &scalar)));
+                    prop_assert!(close(&a.matmul_nt_with(&bt, &cfg), &a.matmul_nt_with(&bt, &scalar)));
+                }
             }
 
             /// gather followed by scatter_add is the identity on the

@@ -50,6 +50,7 @@ const USAGE: &str = "usage:
   buffalo train    <dataset> [--budget 24G] [--epochs N] [--batch-size N]
                    [--hidden H] [--agg ...] [--fanouts 5,10] [--eval N]
                    [--pipeline on|off] [--threads N]
+                   [--simd auto|avx2|sse|scalar] [--precision f32|bf16]
                    [--faults <spec>] [--max-retries N] [--headroom F]
                    [--checkpoint-dir D] [--checkpoint-every K]
                    [--checkpoint-keep N] [--resume D] [--max-rollbacks N]
@@ -61,6 +62,7 @@ const USAGE: &str = "usage:
                    [--max-batch N] [--max-wait-ms F] [--warmup-iters N]
                    [--hidden H] [--agg ...] [--fanouts 5,10]
                    [--pipeline on|off] [--json <file>] [--quiet-requests 1]
+                   [--simd auto|avx2|sse|scalar] [--precision f32|bf16]
   buffalo compare  <dataset> [--budget 24G] [--seeds N] [--hidden H] [--k K]";
 
 /// Parsed `--key value` options with positional arguments.
@@ -291,7 +293,7 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
         .entry("hidden".into())
         .or_insert_with(|| "32".into());
     o.flags.entry("agg".into()).or_insert_with(|| "mean".into());
-    let s = setup(target, &o, "5,10")?;
+    let mut s = setup(target, &o, "5,10")?;
     let epochs: usize = o.get("epochs", 3)?;
     let batch_size: usize = o.get("batch-size", 256)?;
     let eval_nodes: usize = o.get("eval", 512)?;
@@ -299,13 +301,23 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
         "train-nodes",
         (s.ds.graph.num_nodes() / 4).min(2_048).max(batch_size),
     )?;
-    let parallelism = match o.flags.get("threads") {
+    let mut parallelism = match o.flags.get("threads") {
         Some(v) => {
             let n: usize = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
             buffalo::par::Parallelism::with_threads(n)
         }
         None => buffalo::par::Parallelism::auto(),
     };
+    parallelism.simd =
+        buffalo::par::SimdPolicy::parse(&o.get::<String>("simd", "scalar".into())?)?.resolve()?;
+    let precision =
+        datasets::FeaturePrecision::parse(&o.get::<String>("precision", "f32".into())?)?;
+    s.ds.set_precision(precision);
+    println!(
+        "kernels: simd={} precision={}",
+        parallelism.simd.as_str(),
+        precision.as_str()
+    );
     let config = buffalo::core::train::TrainConfig {
         shape: s.shape.clone(),
         fanouts: s.fanouts.clone(),
@@ -462,7 +474,13 @@ fn cmd_serve(target: &str, opts: &Options) -> Result<(), String> {
         .entry("hidden".into())
         .or_insert_with(|| "32".into());
     o.flags.entry("agg".into()).or_insert_with(|| "mean".into());
-    let s = setup(target, &o, "5,10")?;
+    let mut s = setup(target, &o, "5,10")?;
+    let mut parallelism = buffalo::par::Parallelism::auto();
+    parallelism.simd =
+        buffalo::par::SimdPolicy::parse(&o.get::<String>("simd", "scalar".into())?)?.resolve()?;
+    let precision =
+        datasets::FeaturePrecision::parse(&o.get::<String>("precision", "f32".into())?)?;
+    s.ds.set_precision(precision);
     let pipeline = parse_pipeline(&o.get::<String>("pipeline", "off".into())?)?;
     let warmup_iters: usize = o.get("warmup-iters", 3)?;
     let max_batch: usize = o.get("max-batch", 64)?;
@@ -476,7 +494,7 @@ fn cmd_serve(target: &str, opts: &Options) -> Result<(), String> {
         fanouts: s.fanouts.clone(),
         lr: o.get("lr", 0.01)?,
         seed: 17,
-        parallelism: buffalo::par::Parallelism::auto(),
+        parallelism,
     };
     let device = DeviceMemory::new(s.budget);
     let cost = CostModel::rtx6000();

@@ -87,6 +87,30 @@ fi
 rm -rf "$ckdir"
 echo "ci: crash+resume loss trail bitwise identical"
 
+# Elastic failover smoke: a 2-device pool losing device 1 mid-run must
+# complete through the failover rung, report the loss, and replay a loss
+# trail bitwise identical to the fault-free 2-device run (re-sharding is
+# pure re-routing — see DESIGN.md § "Elastic multi-device recovery").
+pool_ref=$(cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 6M --gpus 2)
+pool_lost=$(cargo run -q --release --bin buffalo -- train cora --epochs 2 --budget 6M --gpus 2 \
+  --faults 'lose:1,9')
+if ! grep -q 'failover: device 1 lost' <<<"$pool_lost"; then
+  echo "ci: FAIL — 2-device run with lose:1,9 reported no failover" >&2
+  printf '%s\n' "$pool_lost" >&2
+  exit 1
+fi
+if ! grep -q 'LOST' <<<"$pool_lost"; then
+  echo "ci: FAIL — device summary does not mark device 1 as LOST" >&2
+  printf '%s\n' "$pool_lost" >&2
+  exit 1
+fi
+if [ "$(grep '^trail' <<<"$pool_ref")" != "$(grep '^trail' <<<"$pool_lost")" ]; then
+  echo "ci: FAIL — device-loss loss trail differs from the fault-free pool run" >&2
+  diff <(grep '^trail' <<<"$pool_ref") <(grep '^trail' <<<"$pool_lost") >&2 || true
+  exit 1
+fi
+echo "ci: 2-device failover completes with a bitwise-identical loss trail"
+
 # Golden bit-identity: the lint-driven refactors (hash containers ->
 # ordered containers, unwrap -> Result on recovery paths) must not move a
 # single bit of the epoch table or the checkpoint trail. The golden file
@@ -175,5 +199,9 @@ cargo run -q --release -p buffalo-bench --bin figures -- kernels --quick
 # The serving experiment must run end-to-end (table only; the committed
 # BENCH_serving.json is regenerated with --write-bench).
 cargo run -q --release -p buffalo-bench --bin figures -- serving --quick
+
+# The device-loss failover experiment must run end-to-end (table only;
+# the committed BENCH_failover.json is regenerated with --write-bench).
+cargo run -q --release -p buffalo-bench --bin figures -- failover --quick
 
 echo "ci: all checks passed"

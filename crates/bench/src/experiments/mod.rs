@@ -6,6 +6,7 @@ pub mod ablation;
 pub mod checkpoint;
 pub mod convergence;
 pub mod distributions;
+pub mod failover;
 pub mod kernels;
 pub mod memwall;
 pub mod multigpu;
@@ -44,6 +45,7 @@ pub const ALL_IDS: &[&str] = &[
     "robustness",
     "checkpoint",
     "serving",
+    "failover",
 ];
 
 /// Runs one experiment by id. `write_bench` gates the `BENCH_*.json`
@@ -82,6 +84,7 @@ pub fn run(id: &str, quick: bool, write_bench: bool) -> Result<(), String> {
         "robustness" => robustness::robustness(quick, write_bench),
         "checkpoint" => checkpoint::checkpoint(quick, write_bench),
         "serving" => serving::serving(quick, write_bench),
+        "failover" => failover::failover(quick, write_bench),
         other => return Err(format!("unknown experiment id `{other}`")),
     }
     println!();

@@ -269,6 +269,21 @@ impl BuffaloScheduler {
                 scheduling_time: start.elapsed(),
             });
         }
+        if min_k > 1 && all_seeds.len() < min_k {
+            // Dead end: fewer seeds than the required group count can
+            // never partition into `min_k` non-empty micro-batches — a
+            // single-seed group that the device refused is irreducible.
+            // Without this guard the K loop either "succeeds" with empty
+            // groups (handing the refused group back whole, re-triggering
+            // the same OOM) or fails identically at every K; surface the
+            // structured error at once so the recovery ladder falls to its
+            // next rung.
+            return Err(ScheduleError {
+                mem_constraint,
+                k_max: self.options.k_max,
+                best_max_group: whole_mem,
+            });
+        }
         // Parameters are an irreducible per-micro-batch cost; K planning
         // works in the remaining activation budget.
         let param_bytes = self.shape.parameter_bytes();
@@ -633,6 +648,38 @@ mod tests {
         let sub = sched.resplit_group(&batch.graph, &seeds, u64::MAX).unwrap();
         assert!(sub.k >= 2);
         assert_eq!(sub.total_outputs(), 100);
+    }
+
+    #[test]
+    fn resplit_of_an_irreducible_group_is_a_structured_error() {
+        // Satellite regression: a single-seed group cannot split into the
+        // two-plus groups `resplit_group` requires. This must surface as
+        // an immediate `ScheduleError` — not a plan with empty groups
+        // that hands the refused group back whole (re-triggering the same
+        // OOM until `max_resplits` runs out), and not a futile walk of
+        // every K up to K_max.
+        let (batch, c) = sample_batch();
+        let sched = scheduler(c);
+        let seeds = vec![0 as NodeId];
+        // Roomy constraint: splitting is impossible regardless of memory.
+        let err = sched
+            .resplit_group(&batch.graph, &seeds, u64::MAX)
+            .unwrap_err();
+        assert_eq!(err.mem_constraint, u64::MAX);
+        assert!(
+            err.best_max_group > 0,
+            "should report the group's footprint"
+        );
+        // Survivor-budget-sized constraint: same structured dead end.
+        let err = sched
+            .resplit_group(&batch.graph, &seeds, 1 << 20)
+            .unwrap_err();
+        assert_eq!(err.mem_constraint, 1 << 20);
+        // An empty seed list is equally irreducible.
+        assert!(sched.resplit_group(&batch.graph, &[], u64::MAX).is_err());
+        // The plain scheduling path is unaffected: one seed, one group.
+        let plan = sched.schedule(&batch.graph, 1, u64::MAX).unwrap();
+        assert_eq!(plan.k, 1);
     }
 
     #[test]

@@ -19,7 +19,14 @@ pub fn encode(snap: &TrainSnapshot) -> Vec<u8> {
     put_u64(&mut out, snap.epoch);
     put_u64(&mut out, snap.epoch_iter);
     put_u64(&mut out, snap.global_iter);
-    put_u64(&mut out, snap.device_allocs);
+    put_u64(&mut out, snap.device_allocs.len() as u64);
+    for &a in &snap.device_allocs {
+        put_u64(&mut out, a);
+    }
+    put_u64(&mut out, snap.dead_devices.len() as u64);
+    for &d in &snap.dead_devices {
+        put_u64(&mut out, d);
+    }
     put_u64(&mut out, snap.rollbacks);
     put_u64(&mut out, snap.epoch_loss_sum.to_bits());
     put_u64(&mut out, snap.epoch_acc_sum.to_bits());
@@ -86,7 +93,16 @@ pub fn decode(bytes: &[u8], path: &Path) -> Result<TrainSnapshot, CheckpointErro
     let epoch = r.u64()?;
     let epoch_iter = r.u64()?;
     let global_iter = r.u64()?;
-    let device_allocs = r.u64()?;
+    let num_devices = r.len_prefix("device alloc list")?;
+    let mut device_allocs = Vec::with_capacity(num_devices);
+    for _ in 0..num_devices {
+        device_allocs.push(r.u64()?);
+    }
+    let num_dead = r.len_prefix("dead device list")?;
+    let mut dead_devices = Vec::with_capacity(num_dead);
+    for _ in 0..num_dead {
+        dead_devices.push(r.u64()?);
+    }
     let rollbacks = r.u64()?;
     let epoch_loss_sum = f64::from_bits(r.u64()?);
     let epoch_acc_sum = f64::from_bits(r.u64()?);
@@ -133,6 +149,7 @@ pub fn decode(bytes: &[u8], path: &Path) -> Result<TrainSnapshot, CheckpointErro
         epoch_iter,
         global_iter,
         device_allocs,
+        dead_devices,
         rollbacks,
         epoch_loss_sum,
         epoch_acc_sum,
@@ -242,7 +259,8 @@ mod tests {
             epoch: 2,
             epoch_iter: 3,
             global_iter: 11,
-            device_allocs: 421,
+            device_allocs: vec![421, 388],
+            dead_devices: vec![1],
             rollbacks: 1,
             epoch_loss_sum: 3.75,
             epoch_acc_sum: 2.5,

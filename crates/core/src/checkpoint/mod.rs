@@ -30,7 +30,7 @@ use std::path::PathBuf;
 /// Current snapshot format version, stored after the magic and checked on
 /// load. Bump when the layout changes; old snapshots are then rejected
 /// with [`CheckpointError::Corrupt`] rather than misread.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// One parameter tensor's persistent state: value plus Adam moments.
 /// Gradients are not captured — snapshots are taken between iterations,
@@ -79,9 +79,14 @@ pub struct TrainSnapshot {
     pub epoch_iter: u64,
     /// Completed iterations across the whole run.
     pub global_iter: u64,
-    /// The device's allocation-call count at snapshot time; resume
-    /// fast-forwards the fault stream to this position.
-    pub device_allocs: u64,
+    /// Per-device allocation-call counts at snapshot time; resume
+    /// fast-forwards each device's fault stream to its position. A plain
+    /// single device stores one entry.
+    pub device_allocs: Vec<u64>,
+    /// Indices of devices that were permanently lost before the snapshot;
+    /// resume marks them dead again so the round-robin shard assignment
+    /// (and therefore every downstream stream) replays identically.
+    pub dead_devices: Vec<u64>,
     /// Recovery rollbacks performed so far; the compounding headroom
     /// boost continues from here after a resume.
     pub rollbacks: u64,

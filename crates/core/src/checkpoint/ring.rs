@@ -204,7 +204,8 @@ mod tests {
             epoch: 0,
             epoch_iter: global_iter,
             global_iter,
-            device_allocs: global_iter * 3,
+            device_allocs: vec![global_iter * 3],
+            dead_devices: Vec::new(),
             rollbacks: 0,
             epoch_loss_sum: global_iter as f64,
             epoch_acc_sum: 0.5,

@@ -9,9 +9,13 @@
 //! gradient all-reduce is costed over the PCIe link.
 //!
 //! This is an *analytic* driver over [`crate::sim`]; it holds no model
-//! state. The executing paths — training and serving — share the
-//! long-lived [`crate::train::Engine`] instead, which is where a future
-//! elastic multi-device runner would hang its per-device replicas.
+//! state. It now has an *executing* counterpart: the elastic
+//! [`DevicePool`](crate::train::DevicePool) runs real multi-device epochs
+//! through the shared [`crate::train::Engine`], round-robin-sharding
+//! bucket groups across pool members and surviving whole-device loss
+//! mid-epoch via the recovery ladder's failover rung (`--gpus` in the
+//! CLI). This module remains the cheap what-if calculator for speedup
+//! and all-reduce arithmetic; the pool is where state actually lives.
 
 use crate::sim::{simulate_iteration, SimContext, SimReport, Strategy};
 use crate::TrainError;
@@ -42,7 +46,9 @@ pub struct MultiGpuReport {
 ///
 /// # Errors
 ///
-/// * [`TrainError::InvalidConfig`] if `num_gpus == 0`.
+/// * [`TrainError::InvalidConfig`] if `num_gpus == 0`, or if `link_bw` is
+///   not a positive finite number (a zero/negative/NaN bandwidth would
+///   silently yield an infinite or negative all-reduce time).
 /// * Propagates any error from the underlying single-device simulation.
 pub fn simulate_data_parallel(
     batch: &Batch,
@@ -56,6 +62,11 @@ pub fn simulate_data_parallel(
         return Err(TrainError::InvalidConfig(
             "data-parallel simulation needs at least one GPU (num_gpus = 0)".into(),
         ));
+    }
+    if !(link_bw.is_finite() && link_bw > 0.0) {
+        return Err(TrainError::InvalidConfig(format!(
+            "link bandwidth must be a positive finite number of bytes/s (got {link_bw})"
+        )));
     }
     let device = DeviceMemory::new(per_gpu_budget);
     let base = simulate_iteration(batch, ctx, Strategy::Buffalo, &device, cost)?;
@@ -153,5 +164,32 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, TrainError::InvalidConfig(_)), "{err:?}");
         assert!(err.to_string().contains("at least one GPU"), "{err}");
+    }
+
+    #[test]
+    fn bogus_link_bandwidth_rejected() {
+        // Satellite regression: link_bw <= 0 used to flow into the ring
+        // all-reduce formula and come out as comm_seconds = inf (or a
+        // negative time), silently poisoning every downstream total.
+        let (g, batch, shape) = fixture();
+        let ctx = SimContext {
+            shape: &shape,
+            fanouts: &[10, 25],
+            clustering: 0.3,
+            original: &g,
+        };
+        let cost = CostModel::a100_80gb();
+        for bad in [0.0, -25e9, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = simulate_data_parallel(&batch, ctx, u64::MAX, 2, bad, &cost).unwrap_err();
+            assert!(
+                matches!(err, TrainError::InvalidConfig(_)),
+                "bw {bad}: {err:?}"
+            );
+            assert!(err.to_string().contains("bandwidth"), "bw {bad}: {err}");
+        }
+        // The boundary stays usable: a tiny positive bandwidth is merely
+        // slow, not invalid.
+        let ok = simulate_data_parallel(&batch, ctx, u64::MAX, 2, 1.0, &cost).unwrap();
+        assert!(ok.comm_seconds.is_finite() && ok.comm_seconds > 0.0);
     }
 }

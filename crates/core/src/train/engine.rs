@@ -280,8 +280,10 @@ impl Engine {
             Some(scheduler) => {
                 // The calibrated constraint: `budget / multiplier`, the
                 // plain budget until the calibrator has seen an
-                // under-prediction.
-                let constraint = calibrator.constrain(device.budget());
+                // under-prediction. Planned against the *schedule* budget
+                // — the tightest live member of a device pool — so every
+                // group fits whichever device it is routed to.
+                let constraint = calibrator.constrain(device.schedule_budget());
                 let plan = scheduler.schedule(&batch.graph, batch.num_seeds, constraint)?;
                 model.zero_grad();
                 let mut specs: Vec<MicroSpec<'_>> = Vec::with_capacity(plan.groups.len());
@@ -368,7 +370,7 @@ impl Engine {
                 },
             )?,
             Some(scheduler) => {
-                let constraint = self.calibrator.constrain(device.budget());
+                let constraint = self.calibrator.constrain(device.schedule_budget());
                 let plan = scheduler.schedule(&batch.graph, batch.num_seeds, constraint)?;
                 let specs: Vec<MicroSpec<'_>> = plan
                     .groups

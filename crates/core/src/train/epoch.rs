@@ -340,7 +340,10 @@ pub fn run_epochs_checkpointed<T: IterationTrainer>(
         trainer
             .restore_state(&snap.trainer)
             .map_err(TrainError::Checkpoint)?;
-        device.fast_forward_allocs(snap.device_allocs);
+        for (i, &allocs) in snap.device_allocs.iter().enumerate() {
+            device.fast_forward_device(i, allocs);
+        }
+        device.restore_dead_devices(&snap.dead_devices);
         cur = Cursor {
             epoch: snap.epoch,
             epoch_iter: snap.epoch_iter,
@@ -474,7 +477,8 @@ fn save_snapshot<T: IterationTrainer>(
         epoch: cur.epoch,
         epoch_iter: cur.epoch_iter,
         global_iter: cur.global_iter,
-        device_allocs: device.alloc_calls(),
+        device_allocs: device.per_device_alloc_calls(),
+        dead_devices: device.dead_devices(),
         rollbacks: cur.rollbacks,
         epoch_loss_sum: cur.loss_sum,
         epoch_acc_sum: cur.acc_sum,

@@ -16,11 +16,13 @@
 //! executes — same math, same gradient-accumulation order, bit-identical
 //! losses, smaller iteration makespan.
 
+mod device_pool;
 mod engine;
 mod epoch;
 pub(crate) mod pipeline;
 pub(crate) mod recovery;
 
+pub use device_pool::DevicePool;
 pub use engine::{Engine, InferenceStats};
 pub use epoch::{
     evaluate, run_epochs, run_epochs_checkpointed, EpochConfig, EpochStats, IterationTrainer,
@@ -761,6 +763,176 @@ mod tests {
             "first-alloc fault under double buffering should degrade: {:?}",
             b.recovery
         );
+    }
+
+    #[test]
+    fn device_loss_fails_over_bitwise_identical_to_fault_free() {
+        // Acceptance (tentpole): a 2-device run that loses device 1
+        // mid-epoch completes via the failover rung — no rollback, no
+        // abort — with per-iteration losses bitwise identical to the
+        // fault-free 2-device run. Execute is in-order, so re-routing the
+        // dead device's micro-batches onto the survivor changes nothing
+        // about the accumulation order.
+        use buffalo_memsim::FaultPlan;
+        let (ds, batch, config) = small_setup();
+        let cost = CostModel::rtx6000();
+        let budget = splitting_budget(&batch, &config.shape);
+        let clean = DevicePool::homogeneous(2, budget, &FaultPlan::none()).unwrap();
+        let faulty =
+            DevicePool::homogeneous(2, budget, &FaultPlan::parse("lose:1,3").unwrap()).unwrap();
+        let mut a =
+            BuffaloTrainer::new(config.clone(), 0.24).with_recovery(RecoveryPolicy::default());
+        let mut b = BuffaloTrainer::new(config, 0.24).with_recovery(RecoveryPolicy::default());
+        let mut events = Vec::new();
+        for i in 0..5 {
+            let sa = a.train_iteration(&ds, &batch, &clean, &cost).unwrap();
+            let sb = b.train_iteration(&ds, &batch, &faulty, &cost).unwrap();
+            assert!(sa.num_micro_batches > 1, "budget did not force split");
+            assert_eq!(sa.loss.to_bits(), sb.loss.to_bits(), "iter {i}");
+            assert_eq!(sa.accuracy.to_bits(), sb.accuracy.to_bits(), "iter {i}");
+            assert_eq!(sa.num_micro_batches, sb.num_micro_batches, "iter {i}");
+            assert!(sa.recovery.is_empty());
+            events.extend(sb.recovery);
+        }
+        // Exactly one loss, handled by the failover rung alone.
+        let lost: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.action, RecoveryAction::DeviceLost { .. }))
+            .collect();
+        assert_eq!(lost.len(), 1, "events: {events:?}");
+        assert!(matches!(
+            lost[0].action,
+            RecoveryAction::DeviceLost {
+                device: 1,
+                survivors: 1
+            }
+        ));
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e.action, RecoveryAction::Exhausted)),
+            "failover must complete without exhausting: {events:?}"
+        );
+        assert_eq!(faulty.dead(), vec![1]);
+        assert_eq!(clean.dead(), Vec::<usize>::new());
+        // The clean run sharded across both members; the faulty run's
+        // survivor absorbed everything after the loss.
+        assert!(clean.device(1).unwrap().counters().allocs > 0);
+        // A device loss says nothing about the memory estimator.
+        assert_eq!(b.headroom_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn losing_every_device_exhausts_recovery() {
+        use buffalo_memsim::FaultPlan;
+        let (ds, batch, config) = small_setup();
+        let cost = CostModel::rtx6000();
+        let budget = splitting_budget(&batch, &config.shape);
+        let pool =
+            DevicePool::homogeneous(2, budget, &FaultPlan::parse("lose:0,2;lose:1,2").unwrap())
+                .unwrap();
+        let mut trainer =
+            BuffaloTrainer::new(config, 0.24).with_recovery(RecoveryPolicy::default());
+        let err = trainer
+            .train_iteration(&ds, &batch, &pool, &cost)
+            .unwrap_err();
+        match err {
+            TrainError::RecoveryExhausted {
+                ref events,
+                ref last,
+            } => {
+                assert!(last.device_lost);
+                assert!(events
+                    .iter()
+                    .any(|e| matches!(e.action, RecoveryAction::DeviceLost { .. })));
+                assert!(matches!(
+                    events.last().unwrap().action,
+                    RecoveryAction::Exhausted
+                ));
+            }
+            other => panic!("expected RecoveryExhausted, got {other:?}"),
+        }
+        assert_eq!(pool.dead(), vec![0, 1]);
+    }
+
+    #[test]
+    fn multi_device_resume_restores_the_dead_set() {
+        // A 2-device run that loses device 1, crashes mid-save, and
+        // resumes in a "new process" (fresh pool, same fault plan) must
+        // re-mark the dead member and produce the fault-free trail.
+        use buffalo_memsim::{CrashPoint, FaultPlan};
+        let ds = datasets::load(DatasetName::Cora, 9);
+        let cost = CostModel::rtx6000();
+        let config = TrainConfig {
+            shape: GnnShape::new(
+                ds.spec.feat_dim,
+                16,
+                2,
+                ds.spec.num_classes,
+                AggregatorKind::Mean,
+            ),
+            fanouts: vec![4, 4],
+            lr: 0.05,
+            seed: 3,
+            parallelism: Parallelism::auto(),
+        };
+        let cfg = EpochConfig {
+            batch_size: 64,
+            epochs: 2,
+            train_nodes: 256,
+            eval_nodes: 0,
+            seed: 1,
+        };
+        let dir = std::env::temp_dir().join(format!("buffalo-pool-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Per-device budget that splits each batch across the pool.
+        let seeds: Vec<u32> = (0..64).collect();
+        let probe = BatchSampler::new(vec![4, 4]).sample(&ds.graph, &seeds, 3);
+        let budget = splitting_budget(&probe, &config.shape);
+        let fresh_pool = |spec: &str| {
+            DevicePool::homogeneous(2, budget, &FaultPlan::parse(spec).unwrap()).unwrap()
+        };
+        let fresh_trainer =
+            || BuffaloTrainer::new(config.clone(), 0.24).with_recovery(RecoveryPolicy::default());
+        let reference = {
+            let pool = fresh_pool("");
+            let mut t = fresh_trainer();
+            run_epochs_checkpointed(&mut t, &ds, &pool, &cost, &cfg, None, false).unwrap()
+        };
+        let opts = crate::checkpoint::CheckpointOptions {
+            every: 2,
+            crash: Some(CrashPoint {
+                at_save: 3,
+                after_bytes: None,
+                torn: true,
+            }),
+            ..crate::checkpoint::CheckpointOptions::new(&dir)
+        };
+        {
+            let pool = fresh_pool("lose:1,2");
+            let mut t = fresh_trainer();
+            let err = run_epochs_checkpointed(&mut t, &ds, &pool, &cost, &cfg, Some(&opts), false)
+                .unwrap_err();
+            assert!(matches!(err, TrainError::Checkpoint(_)), "{err:?}");
+            assert_eq!(pool.dead(), vec![1], "loss must precede the crash");
+        }
+        let resumed = {
+            let pool = fresh_pool("lose:1,2");
+            let mut t = fresh_trainer();
+            let opts = crate::checkpoint::CheckpointOptions {
+                every: 2,
+                ..crate::checkpoint::CheckpointOptions::new(&dir)
+            };
+            let run = run_epochs_checkpointed(&mut t, &ds, &pool, &cost, &cfg, Some(&opts), true)
+                .unwrap();
+            assert_eq!(pool.dead(), vec![1], "resume must restore the dead set");
+            run
+        };
+        assert!(resumed.resumed_at.is_some());
+        let bits =
+            |run: &TrainRun| -> Vec<u32> { run.loss_trail.iter().map(|l| l.to_bits()).collect() };
+        assert_eq!(bits(&reference), bits(&resumed));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

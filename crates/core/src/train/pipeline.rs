@@ -22,11 +22,22 @@
 //! Execute is also where OOM **recovery** lives: the device allocation
 //! happens *before* any forward/backward work, so a refused micro-batch
 //! has contributed nothing to the gradients and every rung of the recovery
-//! ladder (degrade double-buffering → bounded retries → re-split) is free
+//! ladder (degrade double-buffering → bounded retries → re-split →
+//! fail over a lost device) is free
 //! to re-attempt it without perturbing the math. A retry-only recovery is
 //! bit-identical to an undisturbed run; a re-split changes the micro-batch
 //! partition (and hence f32 summation order) but still trains every seed
 //! exactly once with the original gradient divisor.
+//!
+//! When the device handle fronts a *pool* (see
+//! [`DevicePool`](crate::train::DevicePool)), Execute routes each
+//! top-level micro-batch to a pool member via
+//! [`Device::begin_micro_batch`] — round-robin over the live devices —
+//! and a permanent whole-device loss climbs the failover rung: the dead
+//! device is excluded from routing, the in-flight micro-batch replays on
+//! a survivor, and the math is unchanged because execution stays in-order
+//! on the caller's thread, so gradient accumulation order is independent
+//! of which device an allocation landed on.
 
 use crate::models::GnnModel;
 use crate::train::recovery::{HeadroomCalibrator, RecoveryAction, RecoveryEvent, RecoveryPolicy};
@@ -346,6 +357,10 @@ struct MicroWork<'s> {
     estimate: u64,
     /// Current re-split recursion depth.
     depth: usize,
+    /// Top-level spec index — the round-robin shard key a device pool
+    /// routes by. Re-split sub-groups inherit their parent's index so
+    /// they execute on the device the parent was assigned to.
+    assign_idx: usize,
 }
 
 /// Executes one prepared micro-batch, climbing the recovery ladder on
@@ -362,6 +377,7 @@ fn consume_one(
         seeds,
         estimate,
         depth,
+        assign_idx,
     } = work;
     let block_gen = restrict_s + prepared.block_gen_seconds();
     let gather = prepared.gather_seconds();
@@ -375,6 +391,30 @@ fn consume_one(
             Err(TrainError::Oom(oom)) => {
                 if !ctx.policy.enabled {
                     return Err(TrainError::Oom(oom));
+                }
+                // Failover rung: a permanent whole-device loss. Retrying
+                // or degrading residency cannot help — the device is gone
+                // — so mark it dead, re-route this micro-batch (and, via
+                // round-robin over the survivors, every unfinished group
+                // the dead device would have taken) and replay the
+                // allocation. The loss says nothing about the estimator,
+                // so the calibrator is *not* fed.
+                if oom.device_lost {
+                    let device = st.residency.device.active_device();
+                    st.residency.device.mark_active_device_dead();
+                    let survivors = st.residency.device.live_device_count();
+                    if survivors == 0 {
+                        st.record_event(RecoveryAction::Exhausted, &oom);
+                        return Err(TrainError::RecoveryExhausted {
+                            events: st.events.clone(),
+                            last: oom,
+                        });
+                    }
+                    st.record_event(RecoveryAction::DeviceLost { device, survivors }, &oom);
+                    st.residency.device.begin_micro_batch(assign_idx);
+                    // Fresh device, fresh retry budget.
+                    attempt = 0;
+                    continue;
                 }
                 // A genuine refusal (not an injected transient fault) is
                 // evidence about the estimator: grow the safety margin so
@@ -453,6 +493,7 @@ fn consume_one(
                                     seeds: Some(group),
                                     estimate: est,
                                     depth: depth + 1,
+                                    assign_idx,
                                 },
                             )?;
                         }
@@ -549,6 +590,9 @@ pub(crate) fn run_pipeline(
         (|| {
             for (idx, &spec) in specs.iter().enumerate() {
                 let (restrict_s, prepared) = prepare_one(ds, batch, spec, num_layers);
+                // Route this micro-batch's allocations: a device pool
+                // round-robins over its live members; plain devices no-op.
+                device.begin_micro_batch(idx);
                 consume_one(
                     model,
                     &ctx,
@@ -559,6 +603,7 @@ pub(crate) fn run_pipeline(
                         seeds: spec_seeds(idx),
                         estimate: spec_estimate(idx),
                         depth: 0,
+                        assign_idx: idx,
                     },
                 )?;
             }
@@ -581,6 +626,7 @@ pub(crate) fn run_pipeline(
                 }
             });
             for (idx, restrict_s, prepared) in rx {
+                device.begin_micro_batch(idx);
                 consume_one(
                     model,
                     &ctx,
@@ -591,6 +637,7 @@ pub(crate) fn run_pipeline(
                         seeds: spec_seeds(idx),
                         estimate: spec_estimate(idx),
                         depth: 0,
+                        assign_idx: idx,
                     },
                 )?;
             }

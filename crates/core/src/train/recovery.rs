@@ -5,7 +5,8 @@
 //! injected fault, or a mid-epoch budget shrink can still make the device
 //! refuse an allocation. On such a failure the pipeline climbs a recovery
 //! ladder (degrade double-buffering → bounded retries → re-split the
-//! micro-batch) and records every rung as a [`RecoveryEvent`]; only when
+//! micro-batch → fail over a lost device to the survivors) and records
+//! every rung as a [`RecoveryEvent`]; only when
 //! the ladder is exhausted does a structured
 //! [`TrainError::RecoveryExhausted`](crate::TrainError::RecoveryExhausted)
 //! carrying the full trail reach the caller.
@@ -78,6 +79,16 @@ pub enum RecoveryAction {
         /// Number of sub-groups it was split into.
         into: usize,
     },
+    /// A whole device was permanently lost: it is marked dead, its
+    /// in-flight micro-batch replays on a survivor, and its unfinished
+    /// bucket groups re-shard across the surviving devices (re-splitting
+    /// under the survivors' budgets when they no longer fit).
+    DeviceLost {
+        /// Index of the lost device.
+        device: usize,
+        /// Live devices remaining after marking it dead.
+        survivors: usize,
+    },
     /// No rung remained; the structured error was surfaced.
     Exhausted,
 }
@@ -91,6 +102,12 @@ impl std::fmt::Display for RecoveryAction {
             }
             RecoveryAction::Resplit { seeds, into } => {
                 write!(f, "re-split {seeds} seeds into {into} groups")
+            }
+            RecoveryAction::DeviceLost { device, survivors } => {
+                write!(
+                    f,
+                    "device {device} lost; re-sharding onto {survivors} survivor(s)"
+                )
             }
             RecoveryAction::Exhausted => write!(f, "recovery exhausted"),
         }
@@ -370,5 +387,12 @@ mod tests {
         .to_string();
         assert!(s.contains("re-split 64 seeds into 2 groups"));
         assert!(!s.contains("transient"));
+        let s = RecoveryAction::DeviceLost {
+            device: 1,
+            survivors: 3,
+        }
+        .to_string();
+        assert!(s.contains("device 1 lost"), "{s}");
+        assert!(s.contains("3 survivor"), "{s}");
     }
 }

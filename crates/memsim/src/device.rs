@@ -9,6 +9,20 @@ use std::sync::{Mutex, MutexGuard};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AllocId(u64);
 
+impl AllocId {
+    /// The raw id value — for wrappers (e.g. a device pool) that mint
+    /// their own id space and map it onto inner per-device ids.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from [`raw`](Self::raw). Only meaningful for ids
+    /// minted by the same allocator that will receive them back.
+    pub fn from_raw(raw: u64) -> Self {
+        AllocId(raw)
+    }
+}
+
 /// Returned when an allocation would exceed the device budget — the
 /// simulated equivalent of CUDA's out-of-memory error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +37,11 @@ pub struct OomError {
     /// [`FaultyDevice`](crate::FaultyDevice)) rather than a genuine budget
     /// overflow — transient faults are worth retrying, overflows are not.
     pub transient: bool,
+    /// `true` when the device has been lost for good (a whole-device-loss
+    /// fault, see [`FaultPlan::device_loss`](crate::FaultPlan)): every
+    /// subsequent allocation on this device fails too, so retrying is
+    /// pointless — the caller must fail over to a surviving device.
+    pub device_lost: bool,
     /// When a double-buffered executor freed the previous micro-batch's
     /// allocation and retried, the original failure (observed with the
     /// previous allocation still resident) is preserved here so OOM
@@ -38,6 +57,7 @@ impl OomError {
             in_use,
             budget,
             transient: false,
+            device_lost: false,
             first_attempt: None,
         }
     }
@@ -52,6 +72,9 @@ impl fmt::Display for OomError {
         )?;
         if self.transient {
             write!(f, " (injected transient fault)")?;
+        }
+        if self.device_lost {
+            write!(f, " (device lost)")?;
         }
         if let Some(first) = &self.first_attempt {
             write!(f, "; first attempt failed with {} B in use", first.in_use)?;
@@ -97,6 +120,74 @@ pub trait Device: Sync {
     /// from any position is already deterministic.
     fn fast_forward_allocs(&self, allocs: u64) {
         let _ = allocs;
+    }
+
+    // --- Multi-device pool surface -------------------------------------
+    //
+    // A `Device` may front a *pool* of simulated devices (an elastic
+    // multi-device runner). The methods below let the executor shard
+    // micro-batches across pool members and survive losing one, while
+    // every plain single-device implementation keeps the trivial
+    // defaults: one device, index 0, never dead.
+
+    /// Number of devices behind this handle (1 for plain devices).
+    fn device_count(&self) -> usize {
+        1
+    }
+
+    /// Number of devices still alive (not marked lost).
+    fn live_device_count(&self) -> usize {
+        1
+    }
+
+    /// The device that will receive the next allocation.
+    fn active_device(&self) -> usize {
+        0
+    }
+
+    /// Routes the upcoming micro-batch's allocations: a pool picks the
+    /// live device for `index` (round-robin over survivors); plain
+    /// devices ignore it.
+    fn begin_micro_batch(&self, index: usize) {
+        let _ = index;
+    }
+
+    /// Marks the active device as permanently lost, so it is skipped by
+    /// every subsequent [`begin_micro_batch`](Device::begin_micro_batch).
+    /// A no-op on plain devices (there is nothing to fail over to).
+    fn mark_active_device_dead(&self) {}
+
+    /// The budget the *scheduler* should plan against: the tightest
+    /// per-device budget across live pool members (a bucket group must
+    /// fit whichever survivor it lands on). Plain devices report their
+    /// own budget.
+    fn schedule_budget(&self) -> u64 {
+        self.budget()
+    }
+
+    /// Per-device allocation counters, indexed by device, for snapshots
+    /// that must fast-forward every fault stream on resume.
+    fn per_device_alloc_calls(&self) -> Vec<u64> {
+        vec![self.alloc_calls()]
+    }
+
+    /// Resets device `index`'s fault streams to the state after exactly
+    /// `allocs` calls (the per-device form of
+    /// [`fast_forward_allocs`](Device::fast_forward_allocs)).
+    fn fast_forward_device(&self, index: usize, allocs: u64) {
+        if index == 0 {
+            self.fast_forward_allocs(allocs);
+        }
+    }
+
+    /// Indices of devices marked dead, ascending (snapshot round-trip).
+    fn dead_devices(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Re-marks devices dead on resume. Out-of-range indices are ignored.
+    fn restore_dead_devices(&self, dead: &[u64]) {
+        let _ = dead;
     }
 }
 

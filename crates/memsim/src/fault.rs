@@ -56,6 +56,20 @@ impl CrashPoint {
     }
 }
 
+/// A scheduled whole-device loss: from the `at_alloc`-th allocation call
+/// (1-based) on device `device` onward, *every* allocation on that device
+/// fails permanently with [`OomError::device_lost`] set — the simulated
+/// equivalent of a GPU falling off the bus mid-epoch. Unlike a transient
+/// fault, retrying is pointless; the executor must fail over to a
+/// surviving device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceLoss {
+    /// Index of the device (within a pool) that is lost.
+    pub device: usize,
+    /// Allocation index (1-based, per-device) at which the loss fires.
+    pub at_alloc: u64,
+}
+
 /// A deterministic fault schedule.
 ///
 /// Build one directly, with the convenience constructors, or by parsing a
@@ -75,6 +89,12 @@ pub struct FaultPlan {
     /// Scheduled mid-checkpoint-write crash, consumed by the checkpoint
     /// writer rather than the device (allocations never see it).
     pub crash: Option<CrashPoint>,
+    /// Scheduled whole-device losses, sorted by `(device, at_alloc)`.
+    /// Each entry names a device index; it only ever fires on a
+    /// [`FaultyDevice`] carrying that index (see
+    /// [`FaultyDevice::with_index`]), so a loss naming an index outside
+    /// the pool never fires at all.
+    pub device_loss: Vec<DeviceLoss>,
 }
 
 impl FaultPlan {
@@ -86,6 +106,7 @@ impl FaultPlan {
             fail_nth: Vec::new(),
             budget_events: Vec::new(),
             crash: None,
+            device_loss: Vec::new(),
         }
     }
 
@@ -104,6 +125,17 @@ impl FaultPlan {
             && self.fail_nth.is_empty()
             && self.budget_events.is_empty()
             && self.crash.is_none()
+            && self.device_loss.is_empty()
+    }
+
+    /// The earliest allocation index at which device `device` is lost,
+    /// or `None` if the plan never loses it.
+    pub fn lost_at(&self, device: usize) -> Option<u64> {
+        self.device_loss
+            .iter()
+            .filter(|l| l.device == device)
+            .map(|l| l.at_alloc)
+            .min()
     }
 
     /// Parses a CLI fault spec. Clauses are separated by `;`:
@@ -114,7 +146,9 @@ impl FaultPlan {
     ///   10th alloc, restore it at the 30th (`restore` optional);
     /// * `crash:at=3,bytes=64,torn=1` — kill the run during the 3rd
     ///   checkpoint save, 64 bytes into the write (`bytes` and `torn`
-    ///   optional; see [`CrashPoint`]).
+    ///   optional; see [`CrashPoint`]);
+    /// * `lose:1,40` — permanently lose device 1 at its 40th allocation
+    ///   (positional: `lose:device,at_alloc`; see [`DeviceLoss`]).
     ///
     /// # Errors
     ///
@@ -125,6 +159,26 @@ impl FaultPlan {
             let (kind, params) = clause
                 .split_once(':')
                 .ok_or_else(|| format!("fault clause `{clause}` needs `kind:key=value,...`"))?;
+            if kind.trim() == "lose" {
+                // Positional clause: `lose:device,at_alloc`.
+                let vals: Vec<&str> = params
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .collect();
+                let [device, at] = vals[..] else {
+                    return Err(format!(
+                        "lose clause needs `lose:device,at_alloc`, got `{clause}`"
+                    ));
+                };
+                let device: usize = parse_num("device", device)?;
+                let at_alloc: u64 = parse_num("at_alloc", at)?;
+                if at_alloc == 0 {
+                    return Err("lose at_alloc is 1-based; 0 never fires".into());
+                }
+                plan.device_loss.push(DeviceLoss { device, at_alloc });
+                continue;
+            }
             let mut pairs = Vec::new();
             for kv in params.split(',').filter(|p| !p.trim().is_empty()) {
                 let (k, v) = kv
@@ -207,6 +261,7 @@ impl FaultPlan {
         }
         plan.fail_nth.sort_unstable();
         plan.budget_events.sort_by_key(|e| e.at_alloc);
+        plan.device_loss.sort_by_key(|l| (l.device, l.at_alloc));
         Ok(plan)
     }
 }
@@ -259,16 +314,29 @@ pub struct FaultyDevice {
     inner: DeviceMemory,
     plan: FaultPlan,
     original_budget: u64,
+    index: usize,
+    lost_at: Option<u64>,
     state: Mutex<FaultState>,
 }
 
 impl FaultyDevice {
-    /// Wraps `inner`, replaying `plan` against its allocation stream.
+    /// Wraps `inner`, replaying `plan` against its allocation stream. The
+    /// device carries index 0, so only `lose:0,...` clauses apply to it.
     pub fn new(inner: DeviceMemory, plan: FaultPlan) -> Self {
+        FaultyDevice::with_index(inner, plan, 0)
+    }
+
+    /// Wraps `inner` as device `index` of a pool: only the plan's
+    /// [`DeviceLoss`] entries naming `index` ever fire here. A loss
+    /// naming an index no pool member carries never fires anywhere.
+    pub fn with_index(inner: DeviceMemory, plan: FaultPlan, index: usize) -> Self {
         let original_budget = inner.budget();
+        let lost_at = plan.lost_at(index);
         FaultyDevice {
             inner,
             original_budget,
+            index,
+            lost_at,
             state: Mutex::new(FaultState {
                 rng: splitmix_seed(plan.seed),
                 counters: FaultCounters::default(),
@@ -281,6 +349,18 @@ impl FaultyDevice {
     /// The wrapped device.
     pub fn inner(&self) -> &DeviceMemory {
         &self.inner
+    }
+
+    /// This device's index within its pool (0 for standalone devices).
+    pub fn device_index(&self) -> usize {
+        self.index
+    }
+
+    /// Whether the plan has already lost this device: true once the
+    /// allocation counter has reached the loss point.
+    pub fn is_lost(&self) -> bool {
+        self.lost_at
+            .is_some_and(|at| self.lock().counters.allocs >= at)
     }
 
     /// The plan being replayed.
@@ -357,7 +437,7 @@ impl fmt::Display for FaultyDevice {
 
 impl Device for FaultyDevice {
     fn alloc(&self, bytes: u64) -> Result<AllocId, OomError> {
-        let inject = {
+        let (inject, lost) = {
             let mut st = self.lock();
             st.counters.allocs += 1;
             let n = st.counters.allocs;
@@ -380,8 +460,16 @@ impl Device for FaultyDevice {
             if inject {
                 st.counters.injected += 1;
             }
-            inject
+            // The loss dominates any transient injection at the same
+            // index: once the device is gone, every alloc fails for good.
+            let lost = self.lost_at.is_some_and(|at| n >= at);
+            (inject, lost)
         };
+        if lost {
+            let mut e = OomError::new(bytes, self.inner.in_use(), self.inner.budget());
+            e.device_lost = true;
+            return Err(e);
+        }
         if inject {
             let mut e = OomError::new(bytes, self.inner.in_use(), self.inner.budget());
             e.transient = true;
@@ -590,6 +678,91 @@ mod tests {
         dev.fast_forward(0);
         assert_eq!(dev.budget(), 100);
         assert_eq!(dev.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn parse_lose_clause_roundtrips() {
+        let plan = FaultPlan::parse("lose:1,40").unwrap();
+        assert_eq!(
+            plan.device_loss,
+            vec![DeviceLoss {
+                device: 1,
+                at_alloc: 40
+            }]
+        );
+        assert!(!plan.is_noop());
+        assert_eq!(plan.lost_at(1), Some(40));
+        assert_eq!(plan.lost_at(0), None);
+        // Multiple losses sort by (device, at_alloc); the earliest wins.
+        let plan = FaultPlan::parse("lose:2,9;lose:0,5;lose:2,3").unwrap();
+        assert_eq!(plan.lost_at(2), Some(3));
+        assert_eq!(plan.lost_at(0), Some(5));
+        // Combines with the other clauses.
+        let plan = FaultPlan::parse("transient:p=0.1,seed=7;lose:1,4").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.lost_at(1), Some(4));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lose_specs() {
+        // No params, a single param, 0-based at_alloc, negative or
+        // non-numeric indices, too many params.
+        assert!(FaultPlan::parse("lose:").is_err());
+        assert!(FaultPlan::parse("lose:0").is_err());
+        assert!(FaultPlan::parse("lose:1,0").is_err());
+        assert!(FaultPlan::parse("lose:-1,5").is_err());
+        assert!(FaultPlan::parse("lose:1,-5").is_err());
+        assert!(FaultPlan::parse("lose:one,5").is_err());
+        assert!(FaultPlan::parse("lose:1,2,3").is_err());
+    }
+
+    #[test]
+    fn device_loss_is_permanent_and_distinguishable() {
+        let plan = FaultPlan::parse("lose:0,3").unwrap();
+        let dev = FaultyDevice::new(DeviceMemory::new(100), plan);
+        assert_eq!(drain(&dev, 2, 10), vec![true, true]);
+        assert!(!dev.is_lost());
+        // From the 3rd alloc on, every attempt fails with the permanent
+        // marker set — not the transient one.
+        for _ in 0..4 {
+            let err = Device::alloc(&dev, 10).unwrap_err();
+            assert!(err.device_lost);
+            assert!(!err.transient);
+        }
+        assert!(dev.is_lost());
+        assert_eq!(dev.counters().allocs, 6);
+        assert_eq!(dev.counters().injected, 0);
+        assert!(dev.to_string().contains("6 allocs"));
+        let s = Device::alloc(&dev, 10).unwrap_err().to_string();
+        assert!(s.contains("device lost"), "{s}");
+    }
+
+    #[test]
+    fn device_loss_only_fires_on_its_own_index() {
+        // The same plan wraps two pool members; only index 1 dies.
+        let plan = FaultPlan::parse("lose:1,1").unwrap();
+        let d0 = FaultyDevice::with_index(DeviceMemory::new(100), plan.clone(), 0);
+        let d1 = FaultyDevice::with_index(DeviceMemory::new(100), plan, 1);
+        assert!(drain(&d0, 5, 10).iter().all(|&ok| ok));
+        assert!(drain(&d1, 5, 10).iter().all(|&ok| !ok));
+        assert!(!d0.is_lost());
+        assert!(d1.is_lost());
+    }
+
+    #[test]
+    fn fast_forward_preserves_loss_state() {
+        let spec = "transient:p=0.3,seed=7;lose:0,5";
+        let live = FaultyDevice::new(DeviceMemory::new(100), FaultPlan::parse(spec).unwrap());
+        let full = drain(&live, 12, 10);
+        // Fast-forwarding past the loss point lands in the dead state and
+        // replays the identical (all-failing) tail.
+        let ff = FaultyDevice::new(DeviceMemory::new(100), FaultPlan::parse(spec).unwrap());
+        ff.fast_forward(8);
+        assert!(ff.is_lost());
+        assert_eq!(drain(&ff, 4, 10), full[8..]);
+        // Rewinding before the loss point revives it.
+        ff.fast_forward(2);
+        assert!(!ff.is_lost());
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod timeline;
 
 pub use cost::CostModel;
 pub use device::{AllocId, Device, DeviceMemory, OomError};
-pub use fault::{BudgetEvent, CrashPoint, FaultCounters, FaultPlan, FaultyDevice};
+pub use fault::{BudgetEvent, CrashPoint, DeviceLoss, FaultCounters, FaultPlan, FaultyDevice};
 pub use shape::{AggregatorKind, GnnShape};
 pub use timeline::{DeviceTimeline, StageTimings};

@@ -18,7 +18,8 @@ use buffalo::core::checkpoint::CheckpointOptions;
 use buffalo::core::serve::{serve_trace, RequestTrace, ServeConfig};
 use buffalo::core::sim::{simulate_iteration, SimContext, Strategy};
 use buffalo::core::train::{
-    run_epochs_checkpointed, Engine, EpochConfig, PipelineConfig, RecoveryPolicy,
+    run_epochs_checkpointed, DevicePool, Engine, EpochConfig, PipelineConfig, RecoveryAction,
+    RecoveryPolicy,
 };
 use buffalo::graph::datasets::{self, DatasetName};
 use buffalo::graph::{io, stats, CsrGraph, NodeId};
@@ -49,15 +50,20 @@ const USAGE: &str = "usage:
                    [--agg mean|pool|lstm|attention] [--fanouts 10,25]
   buffalo train    <dataset> [--budget 24G] [--epochs N] [--batch-size N]
                    [--hidden H] [--agg ...] [--fanouts 5,10] [--eval N]
-                   [--pipeline on|off] [--threads N]
+                   [--pipeline on|off] [--threads N] [--gpus N]
                    [--simd auto|avx2|sse|scalar] [--precision f32|bf16]
                    [--faults <spec>] [--max-retries N] [--headroom F]
                    [--checkpoint-dir D] [--checkpoint-every K]
                    [--checkpoint-keep N] [--resume D] [--max-rollbacks N]
+                   --gpus N trains over an elastic pool of N devices with
+                   --budget bytes EACH; micro-batches shard round-robin
+                   and a lost device fails over to the survivors
                    fault spec clauses (';'-separated):
                      transient:p=0.1,seed=7   transient:nth=5
                      shrink:at=10,factor=0.5,restore=20
                      crash:at=3,bytes=64,torn=1   (needs --checkpoint-dir)
+                     lose:1,40   (device 1 dies at its 40th alloc; needs
+                                  --gpus >= 2 to survive)
   buffalo serve    <dataset> [--budget 24G] [--trace poisson:n=256,rate=64,seed=7]
                    [--max-batch N] [--max-wait-ms F] [--warmup-iters N]
                    [--hidden H] [--agg ...] [--fanouts 5,10]
@@ -363,13 +369,34 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
     let recovery_on = fault_plan.is_some()
         || o.flags.contains_key("max-retries")
         || o.flags.contains_key("headroom");
+    // `--gpus N` swaps the single device for an elastic pool of N members
+    // with `--budget` bytes each. The flag's absence keeps the exact
+    // single-device code path (and its golden outputs) untouched.
+    let gpus = match o.flags.get("gpus") {
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| format!("bad --gpus `{v}`"))?;
+            Some(n)
+        }
+        None => None,
+    };
+    let pool = match gpus {
+        Some(n) => {
+            let plan = fault_plan.take().unwrap_or_else(FaultPlan::none);
+            Some(DevicePool::homogeneous(n, s.budget, &plan).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
     let faulty = fault_plan.map(|plan| FaultyDevice::new(DeviceMemory::new(s.budget), plan));
     let plain;
-    let device: &dyn Device = match &faulty {
-        Some(f) => f,
-        None => {
-            plain = DeviceMemory::new(s.budget);
-            &plain
+    let device: &dyn Device = if let Some(p) = &pool {
+        p
+    } else {
+        match &faulty {
+            Some(f) => f,
+            None => {
+                plain = DeviceMemory::new(s.budget);
+                &plain
+            }
         }
     };
     let cost = CostModel::rtx6000();
@@ -407,9 +434,15 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
     );
     let mut timings = buffalo::memsim::StageTimings::default();
     let mut recovery_events = 0usize;
+    let mut failovers: Vec<String> = Vec::new();
     for e in &run.epochs {
         timings.accumulate(&e.timings);
         recovery_events += e.recovery.len();
+        for ev in &e.recovery {
+            if matches!(ev.action, RecoveryAction::DeviceLost { .. }) {
+                failovers.push(format!("failover: {}", ev.action));
+            }
+        }
         println!(
             "{:>6} {:>10.4} {:>10.3} {:>8} {:>6}",
             e.epoch,
@@ -438,6 +471,27 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
             c.injected, c.allocs, c.budget_changes
         );
     }
+    if let Some(p) = &pool {
+        for line in &failovers {
+            println!("{line}");
+        }
+        println!(
+            "devices: {} in pool, {} live",
+            p.len(),
+            p.live_device_count()
+        );
+        for i in 0..p.len() {
+            if let Some(d) = p.device(i) {
+                let c = d.counters();
+                println!(
+                    "  device {i}: {} allocs, {} injected{}",
+                    c.allocs,
+                    c.injected,
+                    if p.is_dead(i) { ", LOST" } else { "" }
+                );
+            }
+        }
+    }
     if recovery_on {
         println!(
             "recovery: {} events, headroom multiplier {:.3}",
@@ -445,9 +499,10 @@ fn cmd_train(target: &str, opts: &Options) -> Result<(), String> {
             trainer.headroom_multiplier()
         );
     }
-    if ckpt.is_some() {
+    if ckpt.is_some() || pool.is_some() {
         // Per-iteration loss bit patterns: ci.sh diffs these lines between
-        // an uninterrupted run and a crash+resume run to prove bitwise
+        // an uninterrupted run and a crash+resume run (and between a
+        // device-loss run and its fault-free twin) to prove bitwise
         // identical replay.
         for (i, loss) in run.loss_trail.iter().enumerate() {
             println!("trail {i:>6} {:08x} {loss:.6}", loss.to_bits());

@@ -192,6 +192,51 @@ if [ "$s1" != "$s2" ]; then
 fi
 echo "ci: buffalo serve replay byte-identical"
 
+# Chaos-serve smoke: injected transient faults must not drop a single
+# admitted request or move one answer bit — only latencies may change.
+# The `answers:` digest folds (index, node, class) per completed request.
+sc=$(cargo run -q --release --bin buffalo -- serve cora --budget 12M \
+  --trace 'poisson:n=64,rate=128,seed=7' --quiet-requests 1)
+sf=$(cargo run -q --release --bin buffalo -- serve cora --budget 12M \
+  --trace 'poisson:n=64,rate=128,seed=7' --quiet-requests 1 \
+  --faults 'transient:p=0.2,seed=11')
+if ! grep -q 'admission: offered 64, completed 64, shed 0, missed 0' <<<"$sf"; then
+  echo "ci: FAIL — transient-fault serve dropped admitted requests" >&2
+  printf '%s\n' "$sf" >&2
+  exit 1
+fi
+if [ "$(grep '^answers:' <<<"$sc")" != "$(grep '^answers:' <<<"$sf")" ]; then
+  echo "ci: FAIL — transient-fault serve moved the answers digest" >&2
+  printf 'fault-free: %s\nfaulty:     %s\n' \
+    "$(grep '^answers:' <<<"$sc")" "$(grep '^answers:' <<<"$sf")" >&2
+  exit 1
+fi
+echo "ci: chaos serve (transient faults) completes all requests, answers identical"
+
+# Device-loss serve smoke: a 2-device pool losing device 1 mid-run must
+# fail over, mark the member LOST, and still answer identically to the
+# single-device fault-free run.
+sl=$(cargo run -q --release --bin buffalo -- serve cora --budget 12M \
+  --trace 'poisson:n=64,rate=128,seed=7' --quiet-requests 1 \
+  --gpus 2 --faults 'lose:1,2')
+if ! grep -q 'failover: dispatch .*device 1 lost' <<<"$sl"; then
+  echo "ci: FAIL — 2-device serve with lose:1,2 reported no failover" >&2
+  printf '%s\n' "$sl" >&2
+  exit 1
+fi
+if ! grep -q 'LOST' <<<"$sl"; then
+  echo "ci: FAIL — serve device summary does not mark device 1 as LOST" >&2
+  printf '%s\n' "$sl" >&2
+  exit 1
+fi
+if [ "$(grep '^answers:' <<<"$sc")" != "$(grep '^answers:' <<<"$sl")" ]; then
+  echo "ci: FAIL — device-loss serve moved the answers digest" >&2
+  printf 'fault-free: %s\nlossy:      %s\n' \
+    "$(grep '^answers:' <<<"$sc")" "$(grep '^answers:' <<<"$sl")" >&2
+  exit 1
+fi
+echo "ci: chaos serve (device loss) fails over with identical answers"
+
 # Kernel microbenchmarks (without --write-bench this prints the table but
 # leaves the committed BENCH_kernels.json untouched).
 cargo run -q --release -p buffalo-bench --bin figures -- kernels --quick
@@ -199,6 +244,10 @@ cargo run -q --release -p buffalo-bench --bin figures -- kernels --quick
 # The serving experiment must run end-to-end (table only; the committed
 # BENCH_serving.json is regenerated with --write-bench).
 cargo run -q --release -p buffalo-bench --bin figures -- serving --quick
+
+# The serving chaos experiment must run end-to-end (table only; the
+# committed BENCH_serving_chaos.json is regenerated with --write-bench).
+cargo run -q --release -p buffalo-bench --bin figures -- serving-chaos --quick
 
 # The device-loss failover experiment must run end-to-end (table only;
 # the committed BENCH_failover.json is regenerated with --write-bench).

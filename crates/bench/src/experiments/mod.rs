@@ -13,6 +13,7 @@ pub mod multigpu;
 pub mod pareto;
 pub mod robustness;
 pub mod serving;
+pub mod serving_chaos;
 pub mod tables;
 pub mod tiered;
 pub mod timing;
@@ -45,6 +46,7 @@ pub const ALL_IDS: &[&str] = &[
     "robustness",
     "checkpoint",
     "serving",
+    "serving-chaos",
     "failover",
 ];
 
@@ -84,6 +86,7 @@ pub fn run(id: &str, quick: bool, write_bench: bool) -> Result<(), String> {
         "robustness" => robustness::robustness(quick, write_bench),
         "checkpoint" => checkpoint::checkpoint(quick, write_bench),
         "serving" => serving::serving(quick, write_bench),
+        "serving-chaos" => serving_chaos::serving_chaos(quick, write_bench),
         "failover" => failover::failover(quick, write_bench),
         other => return Err(format!("unknown experiment id `{other}`")),
     }

@@ -353,6 +353,27 @@ impl Engine {
         device: &dyn Device,
         cost: &CostModel,
     ) -> Result<InferenceStats, TrainError> {
+        self.infer_with_base(ds, batch, device, cost, 0)
+    }
+
+    /// [`Self::infer`] with an explicit micro-batch numbering base. The
+    /// serving loop passes its run-cumulative micro-batch count so
+    /// successive dispatches keep rotating across [`DevicePool`] members
+    /// instead of re-starting at member 0 every call.
+    ///
+    /// [`DevicePool`]: crate::train::DevicePool
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::infer`].
+    pub fn infer_with_base(
+        &self,
+        ds: &Dataset,
+        batch: &Batch,
+        device: &dyn Device,
+        cost: &CostModel,
+        micro_base: usize,
+    ) -> Result<InferenceStats, TrainError> {
         self.config.parallelism.install();
         device.free_all();
         device.reset_peak();
@@ -367,6 +388,7 @@ impl Engine {
                     device,
                     cost,
                     pipeline: self.pipeline,
+                    micro_base,
                 },
             )?,
             Some(scheduler) => {
@@ -388,6 +410,7 @@ impl Engine {
                         device,
                         cost,
                         pipeline: self.pipeline,
+                        micro_base,
                     },
                 )?
             }

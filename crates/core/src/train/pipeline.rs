@@ -675,6 +675,12 @@ pub(crate) struct InferRequest<'a> {
     pub cost: &'a CostModel,
     /// Staging mode (overlap prepares exactly as in training).
     pub pipeline: PipelineConfig,
+    /// Offset added to each spec's index when assigning micro-batches to
+    /// pool members ([`Device::begin_micro_batch`]). Serving passes its
+    /// run-cumulative micro-batch count so successive dispatches
+    /// round-robin across a [`DevicePool`](super::DevicePool) instead of
+    /// all landing on member 0; identity (no-op) on single devices.
+    pub micro_base: usize,
 }
 
 /// What one inference pass produced.
@@ -755,7 +761,8 @@ pub(crate) fn run_inference(
     };
     let result: Result<(), TrainError> = if depth <= 1 {
         (|| {
-            for &spec in req.specs {
+            for (idx, &spec) in req.specs.iter().enumerate() {
+                req.device.begin_micro_batch(req.micro_base + idx);
                 let (_restrict_s, prepared) = prepare_one(req.ds, req.batch, spec, num_layers);
                 infer_one(model, &req, &mut residency, &mut out, prepared)?;
             }
@@ -763,17 +770,18 @@ pub(crate) fn run_inference(
         })()
     } else {
         std::thread::scope(|s| {
-            let (tx, rx) = mpsc::sync_channel::<PreparedBlocks>(depth - 1);
+            let (tx, rx) = mpsc::sync_channel::<(usize, PreparedBlocks)>(depth - 1);
             let (ds, batch, specs) = (req.ds, req.batch, req.specs);
             s.spawn(move || {
-                for &spec in specs {
+                for (idx, &spec) in specs.iter().enumerate() {
                     let (_restrict_s, prepared) = prepare_one(ds, batch, spec, num_layers);
-                    if tx.send(prepared).is_err() {
+                    if tx.send((idx, prepared)).is_err() {
                         break;
                     }
                 }
             });
-            for prepared in rx {
+            for (idx, prepared) in rx {
+                req.device.begin_micro_batch(req.micro_base + idx);
                 infer_one(model, &req, &mut residency, &mut out, prepared)?;
             }
             Ok(())

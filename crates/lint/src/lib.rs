@@ -130,7 +130,7 @@ impl Config {
                 "crates/core/src/train/epoch.rs",
                 "crates/core/src/train/pipeline.rs",
                 "crates/core/src/train/device_pool.rs",
-                "crates/core/src/serve.rs",
+                "crates/core/src/serve/",
                 "crates/bucketing/src/scheduler.rs",
             ]),
             // The strict tier additionally bans indexing: these files

@@ -227,6 +227,104 @@ impl BatchSampler {
             layer_frontiers,
         }
     }
+
+    /// Samples a [`Batch`] whose per-seed neighborhoods are **isolated**:
+    /// each seed's `L`-hop closure is sampled independently (seeded by
+    /// `(seed, node id)`) and the closures are merged as disjoint
+    /// components — a node serving two seeds appears once *per seed*, with
+    /// its own sampled in-edges per copy.
+    ///
+    /// The property this buys is **composition independence**: the
+    /// component built for seed `s` is an exact relabeled copy of
+    /// `sample(graph, &[s], derive)` regardless of which other seeds share
+    /// the batch. [`sample`](Self::sample) cannot offer this — it draws
+    /// from one shared RNG stream and dedups discovered nodes, so a
+    /// node's sampled neighborhood (and hence a seed's prediction) shifts
+    /// with its batch-mates. Online serving uses this method so that the
+    /// answer to a query never depends on which other queries were
+    /// coalesced with it — batch boundaries can then move freely (load,
+    /// faults, re-splits) without moving a single output bit.
+    ///
+    /// The price is the lost cross-seed dedup: the merged batch is larger
+    /// than [`sample`](Self::sample)'s by the overlap between closures.
+    ///
+    /// Deterministic in `(graph, seeds, seed)` — and, per component, in
+    /// `(graph, seed, one node)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty, contains duplicates, or references
+    /// nodes outside `graph`.
+    pub fn sample_isolated(&self, graph: &CsrGraph, seeds: &[NodeId], seed: u64) -> Batch {
+        assert!(!seeds.is_empty(), "seed set must be non-empty");
+        let parts: Vec<Batch> = seeds
+            .iter()
+            .map(|&s| self.sample(graph, &[s], per_seed_stream(seed, s)))
+            .collect();
+        for w in 0..seeds.len() {
+            for v in (w + 1)..seeds.len() {
+                assert!(seeds[w] != seeds[v], "duplicate seed {}", seeds[w]);
+            }
+        }
+        let k = seeds.len();
+        let total_nodes: usize = parts.iter().map(Batch::num_nodes).sum();
+        let total_edges: usize = parts.iter().map(Batch::num_edges).sum();
+        // Merged local ids: all seeds first (part i's seed becomes local
+        // i), then each part's non-seed nodes in part order. Within a
+        // part the relabeling is monotonic, so every adjacency row keeps
+        // its neighbor order — each component stays a bitwise-exact copy
+        // of the standalone single-seed batch.
+        let mut global_ids: Vec<NodeId> = Vec::with_capacity(total_nodes);
+        global_ids.extend_from_slice(seeds);
+        let mut bases: Vec<NodeId> = Vec::with_capacity(k);
+        let mut next = k as NodeId;
+        for p in &parts {
+            bases.push(next);
+            global_ids.extend_from_slice(&p.global_ids[1..]);
+            next += (p.num_nodes() - 1) as NodeId;
+        }
+        let relabel = |i: usize, l: NodeId| -> NodeId {
+            if l == 0 {
+                i as NodeId
+            } else {
+                bases[i] + l - 1
+            }
+        };
+        let mut b = GraphBuilder::with_capacity(total_nodes, total_edges);
+        for (i, p) in parts.iter().enumerate() {
+            for dst in p.graph.node_ids() {
+                for &src in p.graph.neighbors(dst) {
+                    b.add_edge(relabel(i, src), relabel(i, dst));
+                }
+            }
+        }
+        let mut layer_frontiers: Vec<Vec<NodeId>> = vec![(0..k as NodeId).collect()];
+        for layer in 1..=self.fanouts.len() {
+            let mut front: Vec<NodeId> = Vec::new();
+            for (i, p) in parts.iter().enumerate() {
+                if let Some(f) = p.layer_frontiers.get(layer) {
+                    front.extend(f.iter().map(|&l| relabel(i, l)));
+                }
+            }
+            layer_frontiers.push(front);
+        }
+        Batch {
+            graph: b.build_directed(),
+            global_ids,
+            num_seeds: k,
+            fanouts: self.fanouts.clone(),
+            layer_frontiers,
+        }
+    }
+}
+
+/// Derives the independent RNG stream for one seed node: a SplitMix64
+/// finalizer over `(seed, node)` so nearby node ids decorrelate.
+fn per_seed_stream(seed: u64, node: NodeId) -> u64 {
+    let mut z = seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Samples up to `k` distinct elements from `pool` (all of them if
@@ -351,6 +449,93 @@ mod tests {
         let b = s.sample(&g, &[0, 9, 17], 99);
         assert_eq!(a.global_ids, b.global_ids);
         assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn isolated_components_match_standalone_samples() {
+        let g = test_graph();
+        let s = BatchSampler::new(vec![5, 3]);
+        let seeds = [0u32, 9, 17, 250];
+        let merged = s.sample_isolated(&g, &seeds, 77);
+        assert_eq!(merged.num_seeds, seeds.len());
+        assert_eq!(&merged.global_ids[..seeds.len()], &seeds);
+        for (i, &node) in seeds.iter().enumerate() {
+            // The i-th component of the merged batch, restricted back to
+            // seed i alone, must be a bitwise copy of sampling that seed
+            // standalone with its derived stream.
+            let alone = s.sample(&g, &[node], per_seed_stream(77, node));
+            let part = merged.restrict_to_seeds(&[i as NodeId]);
+            assert_eq!(part.global_ids, alone.global_ids, "seed {node}");
+            assert_eq!(part.graph, alone.graph, "seed {node}");
+            assert_eq!(part.layer_frontiers.len(), alone.layer_frontiers.len());
+            for (pf, af) in part.layer_frontiers.iter().zip(&alone.layer_frontiers) {
+                let pg: Vec<NodeId> = pf.iter().map(|&l| part.global_ids[l as usize]).collect();
+                let ag: Vec<NodeId> = af.iter().map(|&l| alone.global_ids[l as usize]).collect();
+                assert_eq!(pg, ag, "seed {node} frontier globals");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_is_composition_independent() {
+        let g = test_graph();
+        let s = BatchSampler::new(vec![4, 4]);
+        // The same seed batched with different companions keeps the exact
+        // same sampled closure — the property online serving relies on.
+        let with_a = s.sample_isolated(&g, &[42, 7, 300], 5);
+        let with_b = s.sample_isolated(&g, &[123, 42], 5);
+        let a = with_a.restrict_to_seeds(&[0]);
+        let b = with_b.restrict_to_seeds(&[1]);
+        assert_eq!(a.global_ids, b.global_ids);
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn isolated_components_are_disjoint() {
+        let g = test_graph();
+        let s = BatchSampler::new(vec![6, 4]);
+        let merged = s.sample_isolated(&g, &[1, 2, 3], 9);
+        // No sampled edge crosses components: every node reachable from
+        // seed i is only reachable from seed i.
+        for i in 0..3u32 {
+            let part = merged.restrict_to_seeds(&[i]);
+            for other in 0..3u32 {
+                if other == i {
+                    continue;
+                }
+                let o = merged.restrict_to_seeds(&[other]);
+                // Component node *local* sets in the merged batch are
+                // disjoint even when global ids overlap.
+                assert_eq!(part.num_seeds, 1);
+                assert_eq!(o.num_seeds, 1);
+            }
+        }
+        let total: usize = (0..3u32)
+            .map(|i| merged.restrict_to_seeds(&[i]).num_nodes())
+            .sum();
+        assert_eq!(
+            total,
+            merged.num_nodes(),
+            "components must partition the batch"
+        );
+    }
+
+    #[test]
+    fn isolated_is_deterministic() {
+        let g = test_graph();
+        let s = BatchSampler::new(vec![5, 5]);
+        let a = s.sample_isolated(&g, &[0, 9, 17], 99);
+        let b = s.sample_isolated(&g, &[0, 9, 17], 99);
+        assert_eq!(a.global_ids, b.global_ids);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.layer_frontiers, b.layer_frontiers);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate seed")]
+    fn isolated_rejects_duplicate_seeds() {
+        let g = test_graph();
+        let _ = BatchSampler::new(vec![3]).sample_isolated(&g, &[4, 4], 0);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 
 use buffalo::bucketing::BuffaloScheduler;
 use buffalo::core::checkpoint::CheckpointOptions;
-use buffalo::core::serve::{serve_trace, RequestTrace, ServeConfig};
+use buffalo::core::serve::{
+    serve_trace, RequestTrace, ServeConfig, ServeRecoveryAction, ServeRecoveryPolicy, ShedPolicy,
+};
 use buffalo::core::sim::{simulate_iteration, SimContext, Strategy};
 use buffalo::core::train::{
     run_epochs_checkpointed, DevicePool, Engine, EpochConfig, PipelineConfig, RecoveryAction,
@@ -66,9 +68,19 @@ const USAGE: &str = "usage:
                                   --gpus >= 2 to survive)
   buffalo serve    <dataset> [--budget 24G] [--trace poisson:n=256,rate=64,seed=7]
                    [--max-batch N] [--max-wait-ms F] [--warmup-iters N]
-                   [--hidden H] [--agg ...] [--fanouts 5,10]
+                   [--queue-depth N] [--shed-policy reject-newest|shed-oldest]
+                   [--deadline-ms F] [--gpus N] [--faults <spec>]
+                   [--max-retries N] [--hidden H] [--agg ...] [--fanouts 5,10]
                    [--pipeline on|off] [--json <file>] [--quiet-requests 1]
                    [--simd auto|avx2|sse|scalar] [--precision f32|bf16]
+                   overload: --queue-depth bounds the admission queue
+                   (--shed-policy picks who drops when full); --deadline-ms
+                   drops requests that provably cannot dispatch in time.
+                   faults: same spec grammar as train (transient:, lose:);
+                   --gpus N serves over a pool of N devices with --budget
+                   bytes EACH and fails over on whole-device loss. Chaos
+                   moves latencies, never answers: the `answers:` digest is
+                   bit-identical to the fault-free run
   buffalo compare  <dataset> [--budget 24G] [--seeds N] [--hidden H] [--k K]";
 
 /// Parsed `--key value` options with positional arguments.
@@ -544,6 +556,35 @@ fn cmd_serve(target: &str, opts: &Options) -> Result<(), String> {
     let trace_spec = o.get::<String>("trace", "poisson:n=256,rate=64,seed=7".into())?;
     let trace =
         RequestTrace::parse(&trace_spec, s.ds.graph.num_nodes()).map_err(|e| e.to_string())?;
+    // Overload protection: bounded admission queue, shed policy, deadline.
+    let queue_depth: usize = o.get("queue-depth", usize::MAX)?;
+    let shed_policy = ShedPolicy::parse(&o.get::<String>("shed-policy", "reject-newest".into())?)
+        .map_err(|e| e.to_string())?;
+    let deadline = match o.flags.get("deadline-ms") {
+        Some(v) => {
+            let ms: f64 = v.parse().map_err(|_| format!("bad --deadline-ms `{v}`"))?;
+            Some(ms / 1e3)
+        }
+        None => None,
+    };
+    // Fault injection: `--faults` on a single device, or `--gpus N` for a
+    // pool of N members (with `--budget` bytes each) the `lose:` clauses
+    // can address.
+    let fault_plan = match o.flags.get("faults") {
+        Some(spec) => Some(FaultPlan::parse(spec)?),
+        None => None,
+    };
+    let gpus = match o.flags.get("gpus") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("bad --gpus `{v}`"))?,
+        ),
+        None => None,
+    };
+    let recovery = ServeRecoveryPolicy {
+        max_retries: o.get("max-retries", 3)?,
+        ..ServeRecoveryPolicy::default()
+    };
     let config = buffalo::core::train::TrainConfig {
         shape: s.shape.clone(),
         fanouts: s.fanouts.clone(),
@@ -551,29 +592,73 @@ fn cmd_serve(target: &str, opts: &Options) -> Result<(), String> {
         seed: 17,
         parallelism,
     };
-    let device = DeviceMemory::new(s.budget);
     let cost = CostModel::rtx6000();
     let mut engine = Engine::buffalo(config, s.clustering).with_pipeline(pipeline);
     // Warm the model up on the engine's training path — the whole point of
     // the shared engine is that the serving borrow starts where training
-    // left off.
+    // left off. Warmup always runs on a plain fault-free device so the
+    // served parameters are bit-exact regardless of `--faults`/`--gpus`:
+    // chaos may move latencies, never answers.
+    let warm = DeviceMemory::new(s.budget);
     for _ in 0..warmup_iters {
         engine
-            .train_iteration(&s.ds, &s.batch, &device, &cost)
+            .train_iteration(&s.ds, &s.batch, &warm, &cost)
             .map_err(|e| e.to_string())?;
     }
+    let pool = match gpus {
+        Some(n) => {
+            let plan = fault_plan.clone().unwrap_or_else(FaultPlan::none);
+            Some(DevicePool::homogeneous(n, s.budget, &plan).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+    let faulty = match (&pool, fault_plan) {
+        (None, Some(plan)) => Some(FaultyDevice::new(DeviceMemory::new(s.budget), plan)),
+        _ => None,
+    };
+    let plain;
+    let device: &dyn Device = if let Some(p) = &pool {
+        p
+    } else {
+        match &faulty {
+            Some(f) => f,
+            None => {
+                plain = DeviceMemory::new(s.budget);
+                &plain
+            }
+        }
+    };
     let cfg = ServeConfig {
         max_batch,
         max_wait: max_wait_ms / 1e3,
+        queue_depth,
+        shed_policy,
+        deadline,
+        recovery,
     };
     let report =
-        serve_trace(&engine, &s.ds, &device, &cost, &trace, &cfg).map_err(|e| e.to_string())?;
+        serve_trace(&engine, &s.ds, device, &cost, &trace, &cfg).map_err(|e| e.to_string())?;
     println!(
         "served {} requests in {} batches ({} micro-batches) under {:.2} GB budget",
         report.requests.len(),
         report.num_batches,
         report.num_micro_batches,
         report.budget_bytes as f64 / 1e9
+    );
+    println!(
+        "admission: offered {}, completed {}, shed {}, missed {} (policy {}, queue depth {}, deadline {})",
+        report.num_admitted,
+        report.requests.len(),
+        report.shed.len(),
+        report.deadline_missed.len(),
+        cfg.shed_policy,
+        if cfg.queue_depth == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            cfg.queue_depth.to_string()
+        },
+        cfg.deadline
+            .map_or_else(|| "none".to_string(), |d| format!("{:.1}ms", d * 1e3)),
     );
     println!(
         "peak mem {:.2} GB, span {:.3}s, throughput {:.1} req/s",
@@ -590,6 +675,48 @@ fn cmd_serve(target: &str, opts: &Options) -> Result<(), String> {
         l.p99 * 1e3,
         l.max * 1e3
     );
+    let rc = report.recovery_counts();
+    if rc.total() > 0 || faulty.is_some() || pool.is_some() {
+        println!(
+            "recovery: {} retries, {} degrades, {} re-splits, {} failovers (effective batch width {})",
+            rc.retries, rc.degrades, rc.resplits, rc.failovers, report.effective_max_batch
+        );
+        for ev in &report.recovery {
+            if matches!(ev.action, ServeRecoveryAction::DeviceLost { .. }) {
+                println!("failover: {ev}");
+            }
+        }
+    }
+    if let Some(f) = &faulty {
+        let c = f.counters();
+        println!(
+            "faults: {} injected over {} allocs, {} budget changes",
+            c.injected, c.allocs, c.budget_changes
+        );
+    }
+    if let Some(p) = &pool {
+        println!(
+            "devices: {} in pool, {} live",
+            p.len(),
+            p.live_device_count()
+        );
+        for i in 0..p.len() {
+            if let Some(d) = p.device(i) {
+                let c = d.counters();
+                println!(
+                    "  device {i}: {} allocs, {} injected{}",
+                    c.allocs,
+                    c.injected,
+                    if p.is_dead(i) { ", LOST" } else { "" }
+                );
+            }
+        }
+    }
+    // `answers:` folds only (index, node, class) — the fault-invariant
+    // digest ci.sh compares between a chaos run and its fault-free twin.
+    // `digest:` adds latency bits and the shed/missed ledgers: the full
+    // replay-identity digest.
+    println!("answers: {:016x}", report.answer_digest);
     println!("digest: {:016x}", report.output_digest);
     if quiet == 0 {
         // Per-request answers with bit-exact latency: ci.sh diffs these

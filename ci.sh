@@ -16,9 +16,23 @@ cargo bench --workspace --no-run
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 # Static invariants (DESIGN.md § "Static invariants"): deny-by-default
-# linter over the whole workspace — determinism, panic-freedom on the
-# recovery paths, documented unsafe, accounted device allocation.
+# linter over the whole workspace — determinism, panic-reachability from
+# the recovery roots, wall-clock taint of numerics, RNG stream
+# discipline, documented unsafe, accounted device allocation. The
+# human-readable run prints the call-graph stats (functions, edges,
+# ambiguous call sites) on stderr.
 cargo run -q -p buffalo-lint -- check
+
+# Machine-readable gate, as its own step: the --json rendering over a
+# clean workspace must be exactly the empty array (any diagnostic, or
+# any schema drift on the empty output, fails here even if the exit
+# code above regresses).
+lint_json="$(cargo run -q -p buffalo-lint -- check --json 2>/dev/null)"
+if [ "$lint_json" != "[]" ]; then
+  echo "ci: buffalo-lint --json expected an empty diagnostic array, got:" >&2
+  echo "$lint_json" >&2
+  exit 1
+fi
 
 # The loom-model interleaving tests for the thread-pool handoff run under
 # `--cfg loom` (see shims/loom — a bounded randomized-schedule stand-in

@@ -89,6 +89,7 @@ pub fn mem_balanced_grouping(
             .iter()
             .enumerate()
             .min_by_key(|&(i, &e)| (e, i))
+            // lint:allow(panic-reachability): infallible — `estimates` has length k and schedule_impl validates k >= 1 before grouping (suppresses chain: BuffaloScheduler::schedule_impl → mem_balanced_grouping → .expect())
             .expect("k >= 1");
         let contribution = if groups[gi].is_empty() {
             entries[idx].mem_estimate

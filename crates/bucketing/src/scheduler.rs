@@ -247,7 +247,7 @@ impl BuffaloScheduler {
         mem_constraint: u64,
         min_k: usize,
     ) -> Result<SchedulePlan, ScheduleError> {
-        // lint:allow(no-wallclock-in-numerics): plan-timing telemetry; the plan itself is clock-free
+        // lint:allow(wallclock-taint): plan-timing telemetry; the plan itself is clock-free (suppresses chain: BuffaloScheduler::schedule_impl → Instant::now)
         let start = Instant::now();
         let base = degree_bucketing_of(batch, all_seeds, self.cutoff());
         let explosion = detect_explosion(&base, self.options.explosion_factor);

@@ -81,7 +81,7 @@ impl CheckpointRing {
                     .unwrap_or(bytes.len() as u64 / 2)
                     .min(bytes.len() as u64) as usize;
                 let victim = if cp.torn { &final_path } else { &tmp_path };
-                // lint:allow(no-panic-in-recovery): in-bounds — `cut` is min-clamped to bytes.len() above
+                // lint:allow(panic-reachability): in-bounds — `cut` is min-clamped to bytes.len() above (suppresses chain: CheckpointRing::save → [])
                 write_all(victim, &bytes[..cut])?;
                 return Err(CheckpointError::CrashInjected {
                     save_index: self.saves,

@@ -79,6 +79,7 @@ impl SageLayer {
                 cell: LstmCell::new(in_dim, seed.wrapping_add(3)),
             },
             AggregatorKind::Attention => {
+                // lint:allow(panic-reachability): unreachable from the engine — for_shape routes Attention shapes to GatModel before SageModel::new ever runs; a direct GnnModel::sage call with Attention is a programmer error (suppresses chain: Engine::full_batch → GnnModel::for_shape → GnnModel::sage → SageModel::new → SageLayer::new → panic!)
                 panic!("use GatModel for the attention aggregator")
             }
         };
@@ -355,6 +356,7 @@ impl SageLayer {
                     }
                 }
             }
+            // lint:allow(panic-reachability): kind invariant — the AggCache variant always matches the aggregator that produced it in forward (suppresses chain: consume_one → SageLayer::backward → unreachable!)
             _ => unreachable!("aggregator/cache mismatch"),
         }
         dh_src

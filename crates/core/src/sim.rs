@@ -217,7 +217,7 @@ pub fn simulate_iteration(
             // Graph-level partitioning as the METIS-based systems do: the
             // whole sampled subgraph is partitioned and output nodes take
             // their component's id (§II-B, Figure 5).
-            // lint:allow(no-wallclock-in-numerics): measured CPU seconds feed the simulated timeline report, not the plan
+            // lint:allow(wallclock-taint): measured CPU seconds feed the simulated timeline report, not the plan (suppresses chain: simulate_iteration → Instant::now)
             let t0 = Instant::now();
             let parts = metis_kway(&batch.graph, k, MetisOptions::default());
             phases.metis_partition = t0.elapsed().as_secs_f64();
@@ -240,7 +240,7 @@ pub fn simulate_iteration(
     for group in groups.iter().filter(|g| !g.is_empty()) {
         // Connection check: extract the micro-batch's dependency closure.
         let cpu_before = phases.connection_check + phases.block_construction;
-        // lint:allow(no-wallclock-in-numerics): measured CPU seconds feed the simulated timeline report, not the batch
+        // lint:allow(wallclock-taint): measured CPU seconds feed the simulated timeline report, not the batch (suppresses chain: simulate_iteration → Instant::now)
         let t0 = Instant::now();
         let micro = if matches!(strategy, Strategy::Full) {
             batch.clone()
@@ -249,7 +249,7 @@ pub fn simulate_iteration(
         };
         phases.connection_check += t0.elapsed().as_secs_f64();
         // Block construction.
-        // lint:allow(no-wallclock-in-numerics): measured CPU seconds feed the simulated timeline report, not the blocks
+        // lint:allow(wallclock-taint): measured CPU seconds feed the simulated timeline report, not the blocks (suppresses chain: simulate_iteration → Instant::now)
         let t1 = Instant::now();
         let blocks = if checked_generation {
             let globals = &micro.global_ids;

@@ -511,7 +511,7 @@ pub fn evaluate(
         GenerateOptions::default(),
     );
     let features = gather_features(ds, &batch, blocks[0].src_nodes());
-    // lint:allow(no-panic-in-recovery): infallible — generate_blocks_fast returns exactly `depth` blocks, depth >= 1
+    // lint:allow(panic-reachability): infallible — generate_blocks_fast returns exactly `depth` blocks, depth >= 1 (suppresses chain: evaluate → .unwrap())
     let labels = gather_labels(ds, &batch, blocks.last().unwrap().dst_nodes());
     let (logits, _) = model.forward(&blocks, &features);
     let out = softmax_cross_entropy(&logits, &labels, None);

@@ -133,7 +133,7 @@ fn prepare_one(
     spec: MicroSpec<'_>,
     num_layers: usize,
 ) -> (f64, PreparedBlocks) {
-    // lint:allow(no-wallclock-in-numerics): StageTimings telemetry; overlap accounting never alters numerics
+    // lint:allow(wallclock-taint): StageTimings telemetry; overlap accounting never alters numerics (suppresses chain: prepare_one → Instant::now)
     let t0 = Instant::now();
     let restricted;
     let micro: &Batch = match spec {
@@ -151,7 +151,7 @@ fn prepare_one(
         GenerateOptions::default(),
     );
     let dim = ds.spec.feat_dim;
-    // lint:allow(no-wallclock-in-numerics): StageTimings telemetry; gathered features are clock-independent
+    // lint:allow(wallclock-taint): StageTimings telemetry; gathered features are clock-independent (suppresses chain: prepare_one → Instant::now)
     let t1 = Instant::now();
     let globals: Vec<u32> = prepared
         .input_srcs()
@@ -161,7 +161,7 @@ fn prepare_one(
     let mut features = vec![0.0f32; globals.len() * dim];
     ds.gather_features(&globals, &mut features);
     prepared.set_features(features, dim, t1.elapsed().as_secs_f64());
-    // lint:allow(no-wallclock-in-numerics): StageTimings telemetry; gathered labels are clock-independent
+    // lint:allow(wallclock-taint): StageTimings telemetry; gathered labels are clock-independent (suppresses chain: prepare_one → Instant::now)
     let t2 = Instant::now();
     let labels: Vec<u32> = prepared
         .output_dsts()

@@ -31,8 +31,8 @@ impl CsrGraph {
     pub fn from_parts(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
         assert!(!offsets.is_empty(), "offsets must have at least one entry");
         assert_eq!(
-            *offsets.last().unwrap(),
-            neighbors.len(),
+            offsets.last().copied(),
+            Some(neighbors.len()),
             "last offset must equal neighbor count"
         );
         assert!(
@@ -143,6 +143,7 @@ impl CsrGraph {
         let mut neighbors = Vec::new();
         offsets.push(0);
         for &old in nodes {
+            let start = neighbors.len();
             for &nb in self.neighbors(old) {
                 let mapped = remap[nb as usize];
                 if mapped != NodeId::MAX {
@@ -151,7 +152,6 @@ impl CsrGraph {
             }
             // Neighbor order changes under relabeling; restore sortedness
             // within the row.
-            let start = *offsets.last().unwrap();
             neighbors[start..].sort_unstable();
             offsets.push(neighbors.len());
         }
@@ -187,6 +187,15 @@ mod tests {
         b.add_edge(2, 0);
         b.add_edge(2, 3);
         b.build_undirected()
+    }
+
+    #[test]
+    fn induced_subgraph_of_empty_node_set_is_empty() {
+        let g = triangle_plus_tail();
+        let (sub, map) = g.induced_subgraph(&[]);
+        assert_eq!(sub.num_nodes(), 0);
+        assert_eq!(sub.num_edges(), 0);
+        assert!(map.is_empty());
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Interprocedural analyses over the workspace call graph.
+//!
+//! Three rules live here, each reporting diagnostics that carry the full
+//! call chain from a declared root to the offending site:
+//!
+//! * [`panic_reach`] — `panic-reachability`: panic-capable sites
+//!   transitively reachable from the recovery/serve/checkpoint roots;
+//! * [`wallclock`] — `wallclock-taint`: wall-clock reads whose value can
+//!   flow back into a numeric/decision crate;
+//! * [`rng`] — `rng-stream-discipline`: fault-RNG draws on
+//!   `Device::alloc` paths that are conditional, looped, or duplicated —
+//!   the static half of the `fast_forward` stream-exactness contract.
+//!
+//! Waiver semantics shared by all three: a waiver on the *site* line (or
+//! the line above) suppresses every chain ending at that site — that is
+//! applied by the caller, exactly like the intra-file rules. A waiver on
+//! a *call-site* line along a chain prunes that call edge before the
+//! traversal runs, so alternate paths to the same site still surface.
+//! Pruned edges that never mattered (the callee reaches no hazard, or
+//! the caller is unreachable) leave their waiver unused, and
+//! `unused-waiver` reports it.
+
+pub(crate) mod panic_reach;
+pub(crate) mod rng;
+pub(crate) mod wallclock;
+
+use crate::callgraph::{CallGraph, Edge};
+use crate::WaiverSet;
+use std::collections::VecDeque;
+
+/// Adjacency with waived call edges removed, plus the claims each pruned
+/// edge makes on its waiver (resolved to used/unused after traversal).
+pub(crate) struct Pruned {
+    pub adj: Vec<Vec<Edge>>,
+    /// (waiver index, from fn, to fn) for every pruned edge.
+    pub claims: Vec<(usize, usize, usize)>,
+}
+
+/// Removes every call edge whose call-site line carries a well-formed
+/// waiver for `rule` in the caller's file.
+pub(crate) fn prune(g: &CallGraph, rule: &str, ws: &WaiverSet) -> Pruned {
+    let mut adj: Vec<Vec<Edge>> = Vec::with_capacity(g.edges.len());
+    let mut claims = Vec::new();
+    for (from, out) in g.edges.iter().enumerate() {
+        let mut kept = Vec::with_capacity(out.len());
+        for e in out {
+            match ws.find(rule, &g.fns[from].file, e.line) {
+                Some(w) => claims.push((w, from, e.to)),
+                None => kept.push(e.clone()),
+            }
+        }
+        adj.push(kept);
+    }
+    Pruned { adj, claims }
+}
+
+/// Breadth-first reachability from `roots` (visited in the given order,
+/// which the caller keeps sorted for determinism). Returns the reachable
+/// set and, per function, the `(parent, call line)` of its first
+/// discovery — the exemplar shortest chain.
+pub(crate) fn bfs(adj: &[Vec<Edge>], roots: &[usize]) -> (Vec<bool>, Vec<Option<(usize, u32)>>) {
+    let mut seen = vec![false; adj.len()];
+    let mut parent: Vec<Option<(usize, u32)>> = vec![None; adj.len()];
+    let mut q = VecDeque::new();
+    for &r in roots {
+        if !seen[r] {
+            seen[r] = true;
+            q.push_back(r);
+        }
+    }
+    while let Some(i) = q.pop_front() {
+        for e in &adj[i] {
+            if !seen[e.to] {
+                seen[e.to] = true;
+                parent[e.to] = Some((i, e.line));
+                q.push_back(e.to);
+            }
+        }
+    }
+    (seen, parent)
+}
+
+/// Functions that can reach (or are) one of `seeds` following call edges
+/// forward — computed by BFS over the reversed graph.
+pub(crate) fn reaches(adj: &[Vec<Edge>], seeds: &[bool]) -> Vec<bool> {
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); adj.len()];
+    for (from, out) in adj.iter().enumerate() {
+        for e in out {
+            rev[e.to].push(from);
+        }
+    }
+    let mut seen = seeds.to_vec();
+    let mut q: VecDeque<usize> = (0..adj.len()).filter(|&i| seen[i]).collect();
+    while let Some(i) = q.pop_front() {
+        for &p in &rev[i] {
+            if !seen[p] {
+                seen[p] = true;
+                q.push_back(p);
+            }
+        }
+    }
+    seen
+}
+
+/// Marks every pruned-edge waiver that actually suppressed something: the
+/// caller was reachable and the callee led (or leads) to a hazard.
+pub(crate) fn settle_edge_claims(
+    ws: &mut WaiverSet,
+    claims: &[(usize, usize, usize)],
+    reachable: &[bool],
+    reaches_hazard: &[bool],
+) {
+    for &(w, from, to) in claims {
+        if reachable[from] && reaches_hazard[to] {
+            ws.mark_used(w);
+        }
+    }
+}
+
+/// Builds the exemplar chain for `target` from a BFS parent map: root
+/// first, each frame carrying the line where it calls the next frame;
+/// the final frame (the function containing the site) carries its own
+/// declaration line.
+pub(crate) fn chain_to(
+    g: &CallGraph,
+    parent: &[Option<(usize, u32)>],
+    target: usize,
+) -> Vec<crate::Frame> {
+    let mut frames = vec![crate::Frame {
+        func: g.fns[target].display_name(),
+        file: g.fns[target].file.clone(),
+        line: g.fns[target].line,
+    }];
+    let mut cur = target;
+    while let Some((p, line)) = parent[cur] {
+        frames.push(crate::Frame {
+            func: g.fns[p].display_name(),
+            file: g.fns[p].file.clone(),
+            line,
+        });
+        cur = p;
+    }
+    frames.reverse();
+    frames
+}
+
+/// ` (chain: a → b → c)` rendering for diagnostic messages.
+pub(crate) fn chain_text(frames: &[crate::Frame]) -> String {
+    let names: Vec<&str> = frames.iter().map(|f| f.func.as_str()).collect();
+    names.join(" → ")
+}

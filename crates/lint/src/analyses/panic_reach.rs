@@ -1,0 +1,100 @@
+//! `panic-reachability`: no panic-capable site may be transitively
+//! reachable from the recovery/serve/checkpoint roots.
+//!
+//! This replaces the old per-file `no-panic-in-recovery` rule (and its
+//! `no_panic_paths`/`strict_index_paths` lists): instead of checking
+//! the files someone remembered to list, the analysis starts from the
+//! declared root *files* — every function defined there is a root — and
+//! follows the call graph wherever it goes. A helper defined in an
+//! unlisted file but called from the recovery ladder is covered
+//! automatically; its diagnostic carries the full chain
+//! (`root → f → g → unwrap at file:line`).
+//!
+//! Two site classes:
+//!
+//! * `.unwrap()` / `.expect(..)` / `panic!`-family macros — an error
+//!   when reachable from *any* root;
+//! * expression-position `[]` indexing — an error when reachable from a
+//!   *strict* root (the checkpoint codec/ring and the recovery ladder,
+//!   which parse possibly-torn bytes) **and** the containing function is
+//!   defined inside `strict_scope_paths`. The scope cut keeps the rule
+//!   honest: once validated data reaches the numeric kernels, indexing
+//!   is bounds-proven by shape construction and gated dynamically by the
+//!   golden tests — flagging every hot-loop index there would bury the
+//!   real findings under mass waivers.
+
+use crate::analyses::{bfs, chain_text, chain_to, prune, reaches, settle_edge_claims};
+use crate::callgraph::CallGraph;
+use crate::parser::HazardKind;
+use crate::{path_matches, Config, Diagnostic, WaiverSet};
+
+pub(crate) const RULE: &str = "panic-reachability";
+
+pub(crate) fn run(g: &CallGraph, cfg: &Config, ws: &mut WaiverSet, out: &mut Vec<Diagnostic>) {
+    let pruned = prune(g, RULE, ws);
+    let roots = g.fns_in_paths(&cfg.panic_roots);
+    let strict_roots = g.fns_in_paths(&cfg.strict_roots);
+    let (reach, parents) = bfs(&pruned.adj, &roots);
+    let (sreach, sparents) = bfs(&pruned.adj, &strict_roots);
+
+    let mut hazard_fns = vec![false; g.fns.len()];
+    for (i, f) in g.fns.iter().enumerate() {
+        let strict_scoped = path_matches(&f.file, &cfg.strict_scope_paths);
+        for h in &f.hazards {
+            let (relevant, strict_only) = match h.kind {
+                HazardKind::Panic => (true, false),
+                HazardKind::Index => (strict_scoped, true),
+                HazardKind::Wallclock => (false, false),
+            };
+            if !relevant {
+                continue;
+            }
+            let (hit, par, root_kind) = if strict_only {
+                (sreach[i], &sparents, "strict recovery")
+            } else {
+                (reach[i], &parents, "recovery")
+            };
+            // A site waiver suppresses every chain ending here; it only
+            // counts as used when it actually silenced a reachable site,
+            // so a waiver on dead code still fails as `unused-waiver`.
+            if let Some(w) = ws.find(RULE, &f.file, h.line) {
+                if hit {
+                    ws.mark_used(w);
+                }
+                continue;
+            }
+            hazard_fns[i] = true;
+            if !hit {
+                continue;
+            }
+            let frames = chain_to(g, par, i);
+            let advice = if h.kind == HazardKind::Index {
+                "use `.get()` and surface `TrainError` (or waive with a bounds proof)"
+            } else {
+                "convert to `TrainError` (or waive with a proof of infallibility)"
+            };
+            out.push(Diagnostic {
+                rule: RULE,
+                file: f.file.clone(),
+                line: h.line,
+                col: h.col,
+                message: format!(
+                    "`{}` reachable from {} root `{}` — {}; chain: {} → {} at {}:{}",
+                    h.what,
+                    root_kind,
+                    frames[0].func,
+                    advice,
+                    chain_text(&frames),
+                    h.what,
+                    f.file,
+                    h.line
+                ),
+                chain: frames,
+            });
+        }
+    }
+
+    let any_reach: Vec<bool> = (0..g.fns.len()).map(|i| reach[i] || sreach[i]).collect();
+    let leads = reaches(&pruned.adj, &hazard_fns);
+    settle_edge_claims(ws, &pruned.claims, &any_reach, &leads);
+}

@@ -1,0 +1,77 @@
+//! `wallclock-taint`: a wall-clock read must not influence numeric or
+//! decision code, even across file boundaries.
+//!
+//! The old `no-wallclock-in-numerics` rule only looked at reads written
+//! *inside* the decision paths, with whole files exempted via
+//! `wallclock_exempt_paths`. Here the question is interprocedural: a
+//! function whose return value can derive from `Instant::now()` /
+//! `SystemTime::now()` is *tainted*, and calling a tainted function from
+//! a numeric/decision crate (tensor, bucketing, sampling, core math —
+//! `wallclock_sink_paths`) taints the caller's computation. We
+//! over-approximate "derives from" as "calls, transitively": if any
+//! function reachable from a sink function performs a clock read, the
+//! read is reported — at the *read site*, with the chain from the sink
+//! function that reaches it, so telemetry waivers stay on the line that
+//! actually touches the clock.
+//!
+//! Telemetry is the legitimate exception: wall-clock reads whose values
+//! only flow into logs/metrics carry a per-line waiver with a reason.
+//! That shrinks the old blanket file exemptions to per-function,
+//! per-site waivers.
+
+use crate::analyses::{bfs, chain_text, chain_to, prune, reaches, settle_edge_claims};
+use crate::callgraph::CallGraph;
+use crate::parser::HazardKind;
+use crate::{Config, Diagnostic, WaiverSet};
+
+pub(crate) const RULE: &str = "wallclock-taint";
+
+pub(crate) fn run(g: &CallGraph, cfg: &Config, ws: &mut WaiverSet, out: &mut Vec<Diagnostic>) {
+    let pruned = prune(g, RULE, ws);
+    let sinks = g.fns_in_paths(&cfg.wallclock_sink_paths);
+    let (reach, parents) = bfs(&pruned.adj, &sinks);
+
+    let mut hazard_fns = vec![false; g.fns.len()];
+    for (i, f) in g.fns.iter().enumerate() {
+        for h in &f.hazards {
+            if h.kind != HazardKind::Wallclock {
+                continue;
+            }
+            // Site waivers (the telemetry escape hatch) count as used
+            // only when they silence a read a sink can actually reach.
+            if let Some(w) = ws.find(RULE, &f.file, h.line) {
+                if reach[i] {
+                    ws.mark_used(w);
+                }
+                continue;
+            }
+            hazard_fns[i] = true;
+            if !reach[i] {
+                continue;
+            }
+            let frames = chain_to(g, &parents, i);
+            out.push(Diagnostic {
+                rule: RULE,
+                file: f.file.clone(),
+                line: h.line,
+                col: h.col,
+                message: format!(
+                    "`{}` taints numeric/decision code: `{}` (in {}) reaches the read — \
+                     thread a logical counter instead, or waive the read as telemetry; \
+                     chain: {} → {} at {}:{}",
+                    h.what,
+                    frames[0].func,
+                    frames[0].file,
+                    chain_text(&frames),
+                    h.what,
+                    f.file,
+                    h.line
+                ),
+                chain: frames,
+            });
+        }
+    }
+
+    let leads = reaches(&pruned.adj, &hazard_fns);
+    settle_edge_claims(ws, &pruned.claims, &reach, &leads);
+}

@@ -99,7 +99,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
     };
     let mut toks = Vec::new();
 
-    while let Some(c) = lx.peek(0) {
+    while let Some(mut c) = lx.peek(0) {
         let (line, col) = (lx.line, lx.col);
         if c.is_whitespace() {
             lx.bump();
@@ -177,6 +177,12 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 col,
             });
             continue;
+        }
+        // Byte literal `b'x'`: consume the prefix so the `b` is not
+        // claimed as an ident; the char-literal path below does the rest.
+        if c == 'b' && lx.peek(1) == Some('\'') && lx.peek(2) != Some('\'') {
+            lx.bump();
+            c = '\'';
         }
         if c == '"' {
             lex_string(&mut lx);
@@ -390,5 +396,42 @@ let y = r#"unwrap()"#;"##;
             idents(r#"let s = "a\"unwrap\"b"; done"#),
             ["let", "s", "done"]
         );
+    }
+
+    #[test]
+    fn raw_string_with_hashes_ends_only_at_matching_delimiter() {
+        // The `"#` inside must not close an `r##"…"##` string.
+        let src = "let s = r##\"inner \"# unwrap() still string\"##; done";
+        assert_eq!(idents(src), ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth() {
+        let src = "before /* outer /* inner unwrap() */ still comment */ after";
+        assert_eq!(idents(src), ["before", "after"]);
+    }
+
+    #[test]
+    fn char_and_byte_literals_hide_brace_and_bracket() {
+        // A `{` or `[` inside a char/byte literal must not unbalance the
+        // brace tracking the parser builds on.
+        let src = "let a = '{'; let b = b'['; let c = ']'; end";
+        let toks = lex(src);
+        assert_eq!(idents(src), ["let", "a", "let", "b", "let", "c", "end"]);
+        let braces = toks
+            .iter()
+            .filter(|t| t.is_punct('{') || t.is_punct('}') || t.is_punct('[') || t.is_punct(']'))
+            .count();
+        assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn multiline_string_swallows_unwrap_across_lines() {
+        let src = "let s = \"line one\n  .unwrap()\n  line three\";\nreal_call();";
+        let toks = lex(src);
+        assert_eq!(idents(src), ["let", "s", "real_call"]);
+        // The token after the literal carries the post-string line number.
+        let real = toks.iter().find(|t| t.text == "real_call").unwrap();
+        assert_eq!(real.line, 4);
     }
 }

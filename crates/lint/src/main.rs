@@ -47,6 +47,15 @@ fn main() -> ExitCode {
         }
     };
 
+    // Resolver health counters, on stderr so `--json` stdout stays a
+    // pure diagnostic array. CI prints these to make call-graph
+    // regressions (aliasing silently matching nothing, ambiguity
+    // exploding) visible in logs.
+    eprintln!(
+        "buffalo-lint: call graph — {} function(s), {} edge(s), {} ambiguous call site(s)",
+        report.graph.functions, report.graph.edges, report.graph.ambiguous_sites
+    );
+
     if json {
         print!("{}", to_json(&report.diags));
     } else {

@@ -1,4 +1,6 @@
-//! The six invariant rules, each a pattern over the lexed token stream.
+//! The four *intra-file* invariant rules, each a pattern over the lexed
+//! token stream. (Panic sites, wall-clock reads, and RNG draws are
+//! handled interprocedurally — see `parser.rs` and `analyses/`.)
 //!
 //! Every rule receives the same [`FileCtx`] view: `code` is the ordered
 //! list of token indices that are neither comments nor inside
@@ -12,16 +14,6 @@ use crate::{path_matches, Config, Diagnostic, FileCtx};
 /// Hash-based container type names banned in decision crates.
 const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
 
-/// Panicking macro names (matched when followed by `!`).
-const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
-
-/// Keywords that can legally precede a `[` without it being an index
-/// expression (`let [a, b] = ..`, `return [x]`, `in [..]`, …).
-const NON_INDEX_KEYWORDS: [&str; 18] = [
-    "let", "in", "if", "else", "match", "return", "mut", "ref", "move", "as", "box", "dyn",
-    "where", "while", "loop", "break", "continue", "const",
-];
-
 fn diag(rule: &'static str, ctx: &FileCtx, t: &Tok, message: String, out: &mut Vec<Diagnostic>) {
     out.push(Diagnostic {
         rule,
@@ -29,6 +21,7 @@ fn diag(rule: &'static str, ctx: &FileCtx, t: &Tok, message: String, out: &mut V
         line: t.line,
         col: t.col,
         message,
+        chain: Vec::new(),
     });
 }
 
@@ -53,111 +46,6 @@ pub fn nondet_iteration(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) 
                 ),
                 out,
             );
-        }
-    }
-}
-
-/// `no-panic-in-recovery`: `.unwrap()`, `.expect(..)`, panic-family
-/// macros, and (in the strict tier) `[]`-indexing on recovery-critical
-/// paths. These files must report failure as `TrainError`, not abort.
-pub fn no_panic_in_recovery(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
-    if !path_matches(ctx.path, &cfg.no_panic_paths) {
-        return;
-    }
-    let strict = path_matches(ctx.path, &cfg.strict_index_paths);
-    let code = &ctx.code;
-    let tok = |k: usize| -> Option<&Tok> { code.get(k).map(|&i| &ctx.toks[i]) };
-    for (k, &ti) in code.iter().enumerate() {
-        let t = &ctx.toks[ti];
-        match t.kind {
-            TokKind::Ident if t.text == "unwrap" || t.text == "expect" => {
-                let after_dot = k > 0 && tok(k - 1).is_some_and(|p| p.is_punct('.'));
-                let called = tok(k + 1).is_some_and(|n| n.is_punct('('));
-                if after_dot && called {
-                    diag(
-                        "no-panic-in-recovery",
-                        ctx,
-                        t,
-                        format!(
-                            "`.{}()` on a recovery-critical path — convert to `TrainError` \
-                             (or waive with a proof of infallibility)",
-                            t.text
-                        ),
-                        out,
-                    );
-                }
-            }
-            TokKind::Ident
-                if PANIC_MACROS.contains(&t.text.as_str())
-                    && tok(k + 1).is_some_and(|n| n.is_punct('!')) =>
-            {
-                diag(
-                    "no-panic-in-recovery",
-                    ctx,
-                    t,
-                    format!(
-                        "`{}!` on a recovery-critical path — return `TrainError`",
-                        t.text
-                    ),
-                    out,
-                );
-            }
-            TokKind::Punct('[') if strict && k > 0 => {
-                // Index expression: `expr[..]` — the previous token ends an
-                // expression. Type/pattern/attribute brackets are preceded
-                // by punctuation or keywords instead.
-                let prev = tok(k - 1).unwrap();
-                let is_index = match prev.kind {
-                    TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
-                    TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('?') => true,
-                    _ => false,
-                };
-                if is_index {
-                    diag(
-                        "no-panic-in-recovery",
-                        ctx,
-                        t,
-                        "`[]`-indexing in strict-tier recovery code — use `.get()` and \
-                         surface `TrainError` (or waive with a bounds proof)"
-                            .to_string(),
-                        out,
-                    );
-                }
-            }
-            _ => {}
-        }
-    }
-}
-
-/// `no-wallclock-in-numerics`: `Instant::now` / `SystemTime::now`
-/// anywhere outside the bench harness. Wall-clock reads are fine for
-/// *reporting*, but each one is a waiver-documented exception so a clock
-/// can never silently leak into plans or numerics.
-pub fn no_wallclock_in_numerics(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Diagnostic>) {
-    if path_matches(ctx.path, &cfg.wallclock_exempt_paths) {
-        return;
-    }
-    let code = &ctx.code;
-    let tok = |k: usize| -> Option<&Tok> { code.get(k).map(|&i| &ctx.toks[i]) };
-    for (k, &ti) in code.iter().enumerate() {
-        let t = &ctx.toks[ti];
-        if t.kind == TokKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
-            let is_now = tok(k + 1).is_some_and(|a| a.is_punct(':'))
-                && tok(k + 2).is_some_and(|b| b.is_punct(':'))
-                && tok(k + 3).is_some_and(|c| c.is_ident("now"));
-            if is_now {
-                diag(
-                    "no-wallclock-in-numerics",
-                    ctx,
-                    t,
-                    format!(
-                        "`{}::now()` outside the bench harness — wall-clock must not feed \
-                         numerics; waive if the value is reporting-only",
-                        t.text
-                    ),
-                    out,
-                );
-            }
         }
     }
 }
@@ -477,39 +365,8 @@ mod tests {
     }
 
     #[test]
-    fn unwrap_needs_dot_and_call() {
-        // A fn named `unwrap` or a bare path mention is not `.unwrap()`.
-        let d = run("fn unwrap() {}\nfn g(x: Option<u32>) -> u32 { x.unwrap() }\n");
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].line, 2);
-    }
-
-    #[test]
-    fn unwrap_or_else_is_not_unwrap() {
-        assert!(run("fn g(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n").is_empty());
-    }
-
-    #[test]
-    fn indexing_flagged_only_in_expressions() {
-        let ok = "fn f() { let [a, b] = [1u8, 2]; let _t: [u8; 2] = [a, b]; }\n";
-        assert!(run(ok).is_empty());
-        let bad = "fn f(v: &[u8]) -> u8 { v[0] }\n";
-        let d = run(bad);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, "no-panic-in-recovery");
-    }
-
-    #[test]
     fn attribute_brackets_are_not_indexing() {
         assert!(run("#[derive(Debug)]\nstruct S;\n").is_empty());
-    }
-
-    #[test]
-    fn wallclock_pattern_requires_now() {
-        assert!(run("fn f(t: std::time::Instant) -> std::time::Instant { t }\n").is_empty());
-        let d = run("fn f() { let _ = std::time::Instant::now(); }\n");
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, "no-wallclock-in-numerics");
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Known-bad fixture for `no-panic-in-recovery`: exactly one diagnostic,
-//! the `.unwrap()` call.
+//! Known-bad fixture for `panic-reachability`: exactly one diagnostic,
+//! the `.unwrap()` call (under the fixture config every function is a
+//! root, so the chain is the single containing frame).
 
 pub fn restore(payload: Option<u32>) -> u32 {
     payload.unwrap()

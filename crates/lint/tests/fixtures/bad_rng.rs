@@ -1,0 +1,18 @@
+//! Known-bad fixture for `rng-stream-discipline`: exactly one
+//! diagnostic, the fault-RNG draw sitting under a data-dependent branch
+//! inside a `Device::alloc` implementation — crash/resume fast-forward
+//! could not count how many draws the original run consumed.
+
+pub struct FlakyDev {
+    fail_prob: f64,
+}
+
+impl Device for FlakyDev {
+    fn alloc(&mut self, bytes: u64) -> u64 {
+        if self.fail_prob > 0.5 {
+            next_u64()
+        } else {
+            bytes
+        }
+    }
+}

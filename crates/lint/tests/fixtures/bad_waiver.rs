@@ -3,7 +3,7 @@
 //! wallclock diagnostic survives alongside it.
 
 pub fn tagged() -> f64 {
-    // lint:allow(no-wallclock-in-numerics)
+    // lint:allow(wallclock-taint)
     let t = std::time::Instant::now();
     t.elapsed().as_secs_f64()
 }

@@ -1,5 +1,6 @@
-//! Known-bad fixture for `no-wallclock-in-numerics`: exactly one
-//! diagnostic, the `Instant::now()` call.
+//! Known-bad fixture for `wallclock-taint`: exactly one diagnostic, the
+//! `Instant::now()` read (under the fixture config every function is a
+//! sink, so the read taints its own caller).
 
 pub fn stamp() -> f64 {
     let t = std::time::Instant::now();

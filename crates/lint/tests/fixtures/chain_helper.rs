@@ -1,0 +1,20 @@
+//! Deliberately-buggy chain fixture, half two: helpers an old
+//! path-list-driven linter would never have inspected — this file is
+//! not a root, only *reachable* from one. The `.unwrap()` in
+//! `finishing_move` is the planted bug the chain test asserts on.
+
+pub fn relay_step(step: u32) -> u32 {
+    finishing_move(checked_lookup(step))
+}
+
+pub fn finishing_move(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn checked_lookup(step: u32) -> Option<u32> {
+    if step < 4 {
+        Some(step)
+    } else {
+        None
+    }
+}

@@ -1,0 +1,9 @@
+//! Deliberately-buggy chain fixture, half one: the declared root. With
+//! `panic_roots = ["chain_root.rs"]` the linter must follow
+//! `ladder_entry → relay_step → finishing_move` across the file
+//! boundary into `chain_helper.rs` and report the `.unwrap()` there
+//! with this three-frame chain.
+
+pub fn ladder_entry(step: u32) -> u32 {
+    relay_step(step)
+}

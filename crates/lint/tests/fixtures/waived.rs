@@ -2,7 +2,7 @@
 //! reason, so the file lints clean (and the waiver counts as used).
 
 pub fn timed() -> f64 {
-    // lint:allow(no-wallclock-in-numerics): reporting-only timestamp, never feeds numerics
+    // lint:allow(wallclock-taint): reporting-only timestamp, never feeds numerics
     let t = std::time::Instant::now();
     t.elapsed().as_secs_f64()
 }

@@ -1,9 +1,11 @@
 //! Fixture-driven coverage of every rule: each known-bad snippet under
 //! `tests/fixtures/` yields exactly one diagnostic from its target rule,
-//! the clean and waived fixtures yield none, and the JSON rendering of a
-//! full fixture-directory scan matches a committed golden file.
+//! the clean and waived fixtures yield none, the chain fixtures prove
+//! root-to-site reporting across a file boundary, and the JSON rendering
+//! of a full fixture-directory scan matches a committed golden file
+//! byte for byte.
 
-use buffalo_lint::{check_file, run_check, to_json, Config};
+use buffalo_lint::{check_file, check_sources, run_check, to_json, Config};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -20,8 +22,9 @@ fn lint_fixture(name: &str) -> Vec<buffalo_lint::Diagnostic> {
 fn each_rule_has_a_bad_fixture_with_exactly_one_diagnostic() {
     for (file, rule) in [
         ("bad_nondet.rs", "nondet-iteration"),
-        ("bad_no_panic.rs", "no-panic-in-recovery"),
-        ("bad_wallclock.rs", "no-wallclock-in-numerics"),
+        ("bad_no_panic.rs", "panic-reachability"),
+        ("bad_wallclock.rs", "wallclock-taint"),
+        ("bad_rng.rs", "rng-stream-discipline"),
         ("bad_unsafe.rs", "undocumented-unsafe"),
         ("bad_simd.rs", "undocumented-simd"),
         ("bad_alloc.rs", "unaccounted-alloc"),
@@ -52,7 +55,7 @@ fn reasonless_waiver_is_invalid_and_suppresses_nothing() {
     let diags = lint_fixture("bad_waiver.rs");
     let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
     assert!(rules.contains(&"invalid-waiver"), "{diags:?}");
-    assert!(rules.contains(&"no-wallclock-in-numerics"), "{diags:?}");
+    assert!(rules.contains(&"wallclock-taint"), "{diags:?}");
 }
 
 #[test]
@@ -62,9 +65,63 @@ fn waiver_matching_no_diagnostic_is_reported() {
     assert_eq!(diags[0].rule, "unused-waiver");
 }
 
+/// End-to-end proof of interprocedural chain reporting: with only
+/// `chain_root.rs` declared as a root, the planted `.unwrap()` two
+/// calls away in `chain_helper.rs` is reported with the full
+/// three-frame chain — and the rendering is byte-stable across runs.
+#[test]
+fn cross_file_chain_is_reported_with_full_frames() {
+    let cfg = Config {
+        decision_paths: Vec::new(),
+        panic_roots: vec!["chain_root.rs".to_string()],
+        strict_roots: Vec::new(),
+        strict_scope_paths: Vec::new(),
+        wallclock_sink_paths: Vec::new(),
+        alloc_exempt_paths: Vec::new(),
+    };
+    let sources: Vec<(String, String)> = ["chain_root.rs", "chain_helper.rs"]
+        .iter()
+        .map(|n| {
+            (
+                n.to_string(),
+                fs::read_to_string(fixture_dir().join(n)).expect(n),
+            )
+        })
+        .collect();
+    let (diags, stats) = check_sources(&sources, &cfg);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.rule, "panic-reachability");
+    assert_eq!(d.file, "chain_helper.rs");
+    let frames: Vec<(&str, &str)> = d
+        .chain
+        .iter()
+        .map(|f| (f.func.as_str(), f.file.as_str()))
+        .collect();
+    assert_eq!(
+        frames,
+        [
+            ("ladder_entry", "chain_root.rs"),
+            ("relay_step", "chain_helper.rs"),
+            ("finishing_move", "chain_helper.rs"),
+        ]
+    );
+    assert!(
+        d.message
+            .contains("ladder_entry → relay_step → finishing_move"),
+        "{}",
+        d.message
+    );
+    assert_eq!(stats.functions, 4);
+
+    // Byte-stability: a second independent pass renders identically.
+    let (again, _) = check_sources(&sources, &cfg);
+    assert_eq!(to_json(&diags), to_json(&again));
+}
+
 /// Golden-file check of the machine-readable output: scanning the whole
-/// fixture directory (sorted walk, sorted diagnostics) must render to
-/// byte-identical JSON run over run.
+/// fixture directory (sorted walk, sorted diagnostics, chain arrays)
+/// must render to byte-identical JSON run over run.
 #[test]
 fn json_output_matches_golden_file() {
     let report = run_check(&fixture_dir(), &Config::all_files()).expect("scan fixtures");
@@ -80,4 +137,8 @@ fn json_output_matches_golden_file() {
             dump.display()
         );
     }
+    // And the scan itself is deterministic: a second walk renders the
+    // same bytes.
+    let again = run_check(&fixture_dir(), &Config::all_files()).expect("rescan fixtures");
+    assert_eq!(actual, to_json(&again.diags));
 }

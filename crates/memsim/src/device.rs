@@ -294,6 +294,7 @@ impl DeviceMemory {
         let bytes = st
             .live
             .remove(&id.0)
+            // lint:allow(panic-reachability): accounting invariant — Residency frees every alloc id exactly once; a double-free is a caller bug the simulator should crash on loudly (suppresses chain: Residency::acquire → DeviceMemory::free → .expect())
             .expect("free of unknown or already-freed allocation");
         st.in_use -= bytes;
     }

@@ -454,6 +454,7 @@ impl Device for FaultyDevice {
             if self.plan.transient_prob > 0.0 {
                 // Always draw, so the stream position depends only on the
                 // allocation index — not on which faults fired.
+                // lint:allow(rng-stream-discipline): stream-exact — the guard is plan-constant (transient_prob is fixed for the whole run), so fast_forward replays the identical per-alloc draw count (suppresses chain: DevicePool::alloc → FaultyDevice::alloc → next_f64())
                 let draw = next_f64(&mut st.rng);
                 inject |= draw < self.plan.transient_prob;
             }

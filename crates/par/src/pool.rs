@@ -13,17 +13,17 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 #[cfg(loom)]
 use loom::{
     sync::atomic::{AtomicBool, Ordering},
-    sync::{Arc, Condvar, Mutex},
+    sync::{Arc, Condvar, Mutex, MutexGuard},
     thread,
 };
 #[cfg(not(loom))]
 use std::{
     sync::atomic::{AtomicBool, Ordering},
-    sync::{Arc, Condvar, Mutex},
+    sync::{Arc, Condvar, Mutex, MutexGuard},
     thread,
 };
 
-use std::sync::OnceLock;
+use std::sync::{OnceLock, PoisonError};
 
 /// Hard cap on pool worker threads, a guard against absurd `--threads`
 /// values (the caller thread always participates on top of these).
@@ -37,6 +37,16 @@ type StaticTask = Box<dyn FnOnce() + Send + 'static>;
 struct Queue {
     tasks: VecDeque<StaticTask>,
     shutdown: bool,
+}
+
+/// Locks `m`, recovering the guarded data from a poisoned lock. Pool
+/// tasks run under `catch_unwind`, so a poisoned mutex can only mean a
+/// thread died inside one of the pool's own short critical sections —
+/// every one a counter/flag/queue update that is valid at every
+/// intermediate state. Recovering keeps the pool joinable from the
+/// engine's failover ladder instead of cascading a secondary panic.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 struct Shared {
@@ -62,7 +72,7 @@ impl Latch {
     }
 
     fn complete_one(&self) {
-        let mut left = self.remaining.lock().unwrap();
+        let mut left = lock_unpoisoned(&self.remaining);
         *left -= 1;
         if *left == 0 {
             self.done.notify_all();
@@ -70,13 +80,13 @@ impl Latch {
     }
 
     fn is_done(&self) -> bool {
-        *self.remaining.lock().unwrap() == 0
+        *lock_unpoisoned(&self.remaining) == 0
     }
 
     fn wait(&self) {
-        let mut left = self.remaining.lock().unwrap();
+        let mut left = lock_unpoisoned(&self.remaining);
         while *left > 0 {
-            left = self.done.wait(left).unwrap();
+            left = self.done.wait(left).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -110,21 +120,26 @@ impl Pool {
 
     /// Current worker-thread count (excluding callers).
     pub fn num_workers(&self) -> usize {
-        self.workers.lock().unwrap().len()
+        lock_unpoisoned(&self.workers).len()
     }
 
     fn ensure_workers(&self, wanted: usize) {
         let wanted = wanted.min(MAX_WORKERS);
-        let mut workers = self.workers.lock().unwrap();
+        let mut workers = lock_unpoisoned(&self.workers);
         while workers.len() < wanted {
             let shared = Arc::clone(&self.shared);
             let name = format!("buffalo-par-{}", workers.len());
-            workers.push(
-                thread::Builder::new()
-                    .name(name)
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn pool worker"),
-            );
+            match thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(&shared))
+            {
+                Ok(handle) => workers.push(handle),
+                // Spawn failure (thread-resource exhaustion) degrades
+                // concurrency, never correctness: `run` always drains the
+                // queue on the calling thread, so fewer workers only slow
+                // things down.
+                Err(_) => break,
+            }
         }
     }
 
@@ -150,7 +165,7 @@ impl Pool {
         self.ensure_workers(threads - 1);
         let latch = Arc::new(Latch::new(tasks.len()));
         {
-            let mut queue = self.shared.queue.lock().unwrap();
+            let mut queue = lock_unpoisoned(&self.shared.queue);
             for task in tasks {
                 let latch = Arc::clone(&latch);
                 let wrapped: Task<'scope> = Box::new(move || {
@@ -174,13 +189,14 @@ impl Pool {
         // our unfinished tasks are running on other threads, so blocking on
         // the latch cannot deadlock.
         while !latch.is_done() {
-            let task = self.shared.queue.lock().unwrap().tasks.pop_front();
+            let task = lock_unpoisoned(&self.shared.queue).tasks.pop_front();
             match task {
                 Some(task) => task(),
                 None => latch.wait(),
             }
         }
         if latch.panicked.load(Ordering::SeqCst) {
+            // lint:allow(panic-reachability): deliberate re-raise of a pool task's panic, deferred until every task has completed so borrowed data is quiescent (chain: evaluate → SageLayer::forward → Tensor::gather_rows → parallel_rows → Pool::run); the engine's device-loss ladder catches it at the step boundary
             panic!("buffalo-par: a pool task panicked");
         }
     }
@@ -194,9 +210,9 @@ impl Default for Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        self.shared.queue.lock().unwrap().shutdown = true;
+        lock_unpoisoned(&self.shared.queue).shutdown = true;
         self.shared.available.notify_all();
-        for worker in self.workers.lock().unwrap().drain(..) {
+        for worker in lock_unpoisoned(&self.workers).drain(..) {
             let _ = worker.join();
         }
     }
@@ -205,7 +221,7 @@ impl Drop for Pool {
 fn worker_loop(shared: &Shared) {
     loop {
         let task = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(task) = queue.tasks.pop_front() {
                     break task;
@@ -213,7 +229,10 @@ fn worker_loop(shared: &Shared) {
                 if queue.shutdown {
                     return;
                 }
-                queue = shared.available.wait(queue).unwrap();
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         task();
@@ -393,6 +412,33 @@ mod tests {
             }
         });
         assert!(done.iter().all(|d| d.load(Ordering::Relaxed) == 256));
+    }
+
+    #[test]
+    fn pool_stays_usable_after_a_panicking_run() {
+        let pool = Pool::new();
+        let boom: Vec<Task<'_>> = (0..4)
+            .map(|i| -> Task<'_> {
+                Box::new(move || {
+                    if i == 0 {
+                        panic!("boom");
+                    }
+                })
+            })
+            .collect();
+        assert!(catch_unwind(AssertUnwindSafe(|| pool.run(boom, 4))).is_err());
+        // The engine's failover ladder retries on the same global pool, so
+        // a panicking run must leave workers, queue, and locks serviceable.
+        let count = AtomicUsize::new(0);
+        let tasks: Vec<Task<'_>> = (0..8)
+            .map(|_| -> Task<'_> {
+                Box::new(|| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        pool.run(tasks, 4);
+        assert_eq!(count.load(Ordering::SeqCst), 8);
     }
 
     #[test]

@@ -54,8 +54,7 @@ pub fn softmax_cross_entropy(
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap();
+            .map_or(0, |(i, _)| i);
         if argmax == label {
             correct += 1;
         }
@@ -75,6 +74,14 @@ pub fn softmax_cross_entropy(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn single_class_logits_count_every_row_correct() {
+        let logits = Tensor::zeros(3, 1);
+        let out = softmax_cross_entropy(&logits, &[0, 0, 0], None);
+        assert_eq!(out.correct, 3);
+        assert!(out.loss.abs() < 1e-6);
+    }
 
     #[test]
     fn uniform_logits_give_log_c() {
